@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness (imported by every bench module).
+
+Each benchmark module reproduces one paper table or figure: it runs the
+corresponding experiment driver under ``pytest-benchmark`` and prints the same
+rows/series the paper reports, side by side with the paper's published values
+where they are stated in the text.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Benchmark a (potentially slow) experiment driver with a single round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_header(title: str) -> None:
+    """Print a section header so benchmark output reads like the paper."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

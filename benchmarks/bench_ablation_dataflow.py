@@ -1,0 +1,86 @@
+"""Ablation: dataflow design choices called out in DESIGN.md.
+
+Three sweeps over the DFX timing model:
+
+* **HBM efficiency** — the generation stage is weight-streaming bound, so the
+  per-token latency tracks the sustained HBM bandwidth almost linearly.
+* **Instruction overheads** — what an "ideal" core (no issue overhead, perfect
+  memory) would achieve, i.e. where the remaining time goes.
+* **Ring-hop latency** — synchronization cost sensitivity, the term that makes
+  the 4-FPGA scaling sub-linear in Fig. 18.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.reports import format_table
+from repro.core.appliance import DFXAppliance
+from repro.core.calibration import DEFAULT_CALIBRATION, IDEAL_CALIBRATION
+from repro.model.config import GPT2_1_5B
+from repro.workloads import Workload
+
+WORKLOAD = Workload(32, 32)
+
+
+def _latency_with(calibration):
+    appliance = DFXAppliance(GPT2_1_5B, num_devices=4, calibration=calibration)
+    return appliance.run(WORKLOAD).latency_ms
+
+
+def _run_sweeps():
+    hbm_sweep = {
+        efficiency: _latency_with(DEFAULT_CALIBRATION.with_overrides(hbm_efficiency=efficiency))
+        for efficiency in (0.30, 0.47, 0.70, 1.00)
+    }
+    hop_sweep = {
+        hop: _latency_with(DEFAULT_CALIBRATION.with_overrides(aurora_hop_latency_s=hop))
+        for hop in (0.0, 1.0e-6, 2.2e-6, 5.0e-6)
+    }
+    return {
+        "default": _latency_with(DEFAULT_CALIBRATION),
+        "ideal": _latency_with(IDEAL_CALIBRATION),
+        "no_issue_overhead": _latency_with(
+            DEFAULT_CALIBRATION.with_overrides(matrix_issue_cycles=0, vector_issue_cycles=0)
+        ),
+        "hbm": hbm_sweep,
+        "hop": hop_sweep,
+    }
+
+
+def test_ablation_dataflow_sensitivity(benchmark):
+    data = run_once(benchmark, _run_sweeps)
+
+    print_header("Ablation — dataflow/calibration sensitivity (1.5B, 4 FPGAs, [32:32])")
+    print(format_table(
+        ["configuration", "latency (ms)"],
+        [
+            ["default calibration", data["default"]],
+            ["no instruction-issue overhead", data["no_issue_overhead"]],
+            ["ideal (perfect memory, no overheads)", data["ideal"]],
+        ],
+    ))
+    print()
+    print(format_table(
+        ["sustained HBM efficiency", "latency (ms)"],
+        [[f"{eff:.2f}", latency] for eff, latency in sorted(data["hbm"].items())],
+    ))
+    print()
+    print(format_table(
+        ["ring hop latency (us)", "latency (ms)"],
+        [[f"{hop * 1e6:.1f}", latency] for hop, latency in sorted(data["hop"].items())],
+    ))
+
+    # The model must respond in the physically sensible direction.
+    assert data["ideal"] < data["no_issue_overhead"] < data["default"]
+    hbm_points = sorted(data["hbm"].items())
+    assert all(
+        earlier[1] > later[1] for earlier, later in zip(hbm_points, hbm_points[1:])
+    )
+    hop_points = sorted(data["hop"].items())
+    assert all(
+        earlier[1] <= later[1] for earlier, later in zip(hop_points, hop_points[1:])
+    )
+    # Weight streaming dominates: halving HBM efficiency changes latency a lot
+    # more than removing the ring latency entirely.
+    hbm_swing = data["hbm"][0.30] - data["hbm"][1.00]
+    hop_swing = data["hop"][5.0e-6] - data["hop"][0.0]
+    assert hbm_swing > hop_swing

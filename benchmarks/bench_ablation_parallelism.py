@@ -1,0 +1,71 @@
+"""Ablation: intra-layer vs pipelined model parallelism (Sec. II-B / IV-B).
+
+The paper chooses intra-layer parallelism because pipelining cannot reduce
+per-token latency when each generated token feeds back into the next
+iteration.  This benchmark quantifies that argument with the DFX cluster
+model: per-token latency under the real (intra-layer) cluster, under an
+idealized pipelined split, and the sync overhead that intra-layer pays for it.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.reports import format_table
+from repro.core.appliance import DFXAppliance
+from repro.model.config import GPT2_1_5B
+from repro.parallel.partitioner import build_partition_plan
+from repro.parallel.pipeline import pipelined_token_latency_ms
+from repro.parallel.sync import sync_bytes_per_token, syncs_per_token
+from repro.results import PHASE_SYNC
+from repro.workloads import Workload
+
+
+def _run_ablation():
+    workload = Workload(64, 64)
+    single = DFXAppliance(GPT2_1_5B, num_devices=1, check_capacity=False)
+    quad = DFXAppliance(GPT2_1_5B, num_devices=4)
+
+    single_result = single.run(workload)
+    quad_result = quad.run(workload)
+
+    single_layer_ms = (
+        single_result.latency_ms / workload.total_tokens / GPT2_1_5B.n_layer
+    )
+    pipelined_ms = pipelined_token_latency_ms(
+        single_layer_ms, GPT2_1_5B, 4, inter_stage_transfer_ms=0.01
+    ) * workload.total_tokens
+
+    plan = build_partition_plan(GPT2_1_5B, 4)
+    return {
+        "workload": workload,
+        "single_ms": single_result.latency_ms,
+        "intra_layer_ms": quad_result.latency_ms,
+        "pipelined_ms": pipelined_ms,
+        "sync_share": quad_result.breakdown_fractions().get(PHASE_SYNC, 0.0),
+        "syncs_per_token": syncs_per_token(plan),
+        "sync_bytes_per_token": sync_bytes_per_token(plan),
+    }
+
+
+def test_ablation_parallelism_scheme(benchmark):
+    data = run_once(benchmark, _run_ablation)
+
+    print_header("Ablation — intra-layer vs pipelined parallelism (1.5B, 64:64)")
+    print(format_table(
+        ["configuration", "end-to-end latency (ms)"],
+        [
+            ["1 FPGA (no parallelism)", data["single_ms"]],
+            ["4 FPGAs, pipelined (modeled)", data["pipelined_ms"]],
+            ["4 FPGAs, intra-layer (DFX)", data["intra_layer_ms"]],
+        ],
+    ))
+    print(
+        f"\nintra-layer pays {data['syncs_per_token']} ring syncs per token "
+        f"({data['sync_bytes_per_token'] / 1e3:.1f} kB per link), "
+        f"{100 * data['sync_share']:.1f}% of latency — and still wins."
+    )
+
+    # Pipelining does not beat the single device on latency; intra-layer does.
+    assert data["pipelined_ms"] >= 0.95 * data["single_ms"]
+    assert data["intra_layer_ms"] < 0.6 * data["single_ms"]
+    assert data["intra_layer_ms"] < data["pipelined_ms"]
+    assert data["syncs_per_token"] == 4 * GPT2_1_5B.n_layer

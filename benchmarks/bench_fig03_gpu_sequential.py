@@ -1,0 +1,35 @@
+"""Figure 3: GPU latency with increasing input vs output tokens (1.5B model).
+
+The paper's motivation figure: each additional *output* token costs ~75 ms on
+the GPU appliance while each additional *input* token costs ~0.02 ms, because
+the generation stage is sequential and overhead-bound.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure3
+from repro.analysis.reports import format_table
+
+
+def test_figure3_gpu_sequential_bottleneck(benchmark):
+    result = run_once(benchmark, run_figure3)
+
+    print_header("Figure 3 — GPU latency vs input/output token count (GPT-2 1.5B)")
+    rows = []
+    for workload, summ, gen in zip(
+        result.workloads, result.summarization_ms, result.generation_ms
+    ):
+        rows.append([workload.label, summ, gen, summ + gen])
+    print(format_table(["workload", "summarization (ms)", "generation (ms)", "total (ms)"], rows))
+    print(
+        f"marginal output-token cost: {result.marginal_output_token_ms:.2f} ms "
+        "(paper: ~75.45 ms)"
+    )
+    print(
+        f"marginal input-token cost:  {result.marginal_input_token_ms:.3f} ms "
+        "(paper: ~0.02 ms)"
+    )
+
+    assert result.marginal_output_token_ms > 40.0
+    assert result.marginal_input_token_ms < 0.2
+    assert result.marginal_output_token_ms > 300 * result.marginal_input_token_ms

@@ -1,0 +1,54 @@
+"""Figure 4: GPU latency breakdown vs raw-operation breakdown.
+
+Layer normalization and residual account for ~22.8% of GPU latency while
+contributing ~0.11% of the raw operations — the paper's argument for an
+accelerator that covers GPT-2 end to end rather than attention only.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure4
+from repro.analysis.reports import format_table
+from repro.results import PHASE_FFN, PHASE_LAYERNORM, PHASE_RESIDUAL, PHASE_SELF_ATTENTION
+
+PAPER_LATENCY_FRACTIONS = {
+    PHASE_LAYERNORM: 0.099,
+    PHASE_SELF_ATTENTION: 0.565,
+    PHASE_RESIDUAL: 0.129,
+    PHASE_FFN: 0.207,
+}
+PAPER_OPERATION_FRACTIONS = {
+    PHASE_LAYERNORM: 0.001,
+    PHASE_SELF_ATTENTION: 0.3331,
+    PHASE_RESIDUAL: 0.0001,
+    PHASE_FFN: 0.6659,
+}
+
+
+def test_figure4_gpu_breakdown(benchmark):
+    result = run_once(benchmark, run_figure4)
+
+    print_header("Figure 4 — GPU latency vs operation-count breakdown (GPT-2)")
+    rows = []
+    for phase in (PHASE_LAYERNORM, PHASE_SELF_ATTENTION, PHASE_RESIDUAL, PHASE_FFN):
+        rows.append([
+            phase,
+            100 * result.latency_fractions.get(phase, 0.0),
+            100 * PAPER_LATENCY_FRACTIONS[phase],
+            100 * result.operation_fractions.get(phase, 0.0),
+            100 * PAPER_OPERATION_FRACTIONS[phase],
+        ])
+    print(format_table(
+        ["phase", "latency % (ours)", "latency % (paper)",
+         "ops % (ours)", "ops % (paper)"],
+        rows,
+    ))
+
+    # Shape checks: attention dominates latency; FFN dominates operations; the
+    # LayerNorm+Residual latency share dwarfs its operation share.
+    assert result.latency_fractions[PHASE_SELF_ATTENTION] > 0.4
+    assert result.operation_fractions[PHASE_FFN] > 0.6
+    cheap_ops = result.operation_fractions[PHASE_LAYERNORM] + result.operation_fractions[PHASE_RESIDUAL]
+    slow_time = result.latency_fractions[PHASE_LAYERNORM] + result.latency_fractions[PHASE_RESIDUAL]
+    assert slow_time > 0.2
+    assert cheap_ops < 0.01

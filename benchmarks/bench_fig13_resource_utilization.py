@@ -1,0 +1,52 @@
+"""Figure 13: per-component FPGA resource utilization of one DFX core.
+
+Regenerates the utilization table (LUT / FF / BRAM / URAM / DSP per component
+and in total) for the final d=64, l=16 design on the Alveo U280, plus the SLR
+floorplan feasibility check described in Sec. VI.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure13
+from repro.analysis.reports import format_table
+from repro.fpga.floorplan import plan_floorplan
+
+PAPER_TOTALS = {"lut": 0.3993, "ff": 0.4252, "bram_36k": 0.5913, "uram": 0.1083, "dsp": 0.3915}
+
+
+def test_figure13_resource_utilization(benchmark):
+    report = run_once(benchmark, run_figure13)
+
+    print_header("Figure 13 — resource utilization on the Alveo U280 (d=64, l=16)")
+    utilization = report.utilization()
+    rows = []
+    for component, usage in report.components.items():
+        rows.append([
+            component,
+            usage.lut / 1e3,
+            usage.ff / 1e3,
+            usage.bram_36k,
+            usage.uram,
+            usage.dsp,
+        ])
+    total = report.total
+    rows.append(["TOTAL", total.lut / 1e3, total.ff / 1e3, total.bram_36k, total.uram, total.dsp])
+    print(format_table(["component", "kLUT", "kFF", "BRAM36", "URAM", "DSP"], rows))
+
+    print("\nTotal utilization (ours vs paper):")
+    for kind, paper_value in PAPER_TOTALS.items():
+        ours = utilization["total"][kind]
+        print(f"  {kind:>8s}: {100 * ours:5.1f}%   (paper {100 * paper_value:5.1f}%)")
+
+    floorplan = plan_floorplan()
+    print(
+        f"\nSLR floorplan: lanes per SLR = "
+        f"{[slr.mpu_lanes for slr in floorplan.assignments]}, "
+        f"die-crossing signals = {floorplan.crossing_signals} "
+        f"(budget {floorplan.sll_budget}) -> feasible = {floorplan.feasible}"
+    )
+
+    report.check_fits()
+    for kind, paper_value in PAPER_TOTALS.items():
+        assert abs(utilization["total"][kind] - paper_value) < 0.12
+    assert floorplan.feasible

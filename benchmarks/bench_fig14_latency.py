@@ -1,0 +1,59 @@
+"""Figure 14: DFX vs GPU-appliance latency over the full evaluation grid.
+
+Three model sizes (345M on 1 device, 774M on 2, 1.5B on 4), fifteen
+[input:output] workloads each.  The paper's headline speedups are 3.20x,
+4.46x, and 5.58x (ratio of grid-average latencies).
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure14
+from repro.analysis.metrics import average_latency_ms
+from repro.analysis.reports import format_table
+
+PAPER_AVERAGE_SPEEDUPS = {"gpt2-345m": 3.20, "gpt2-774m": 4.46, "gpt2-1.5b": 5.58}
+PAPER_AVERAGE_GPU_MS = {"gpt2-345m": 2531.6, "gpt2-774m": 4333.1, "gpt2-1.5b": 5479.7}
+PAPER_AVERAGE_DFX_MS = {"gpt2-345m": 790.2, "gpt2-774m": 970.7, "gpt2-1.5b": 982.8}
+
+
+def test_figure14_latency_grid(benchmark):
+    result = run_once(benchmark, run_figure14)
+
+    for column in result.columns:
+        name = column.setup.config.name
+        print_header(f"Figure 14 — {column.setup.label}")
+        rows = [
+            [row.workload.label, row.baseline.latency_ms, row.dfx.latency_ms, row.speedup]
+            for row in column.rows
+        ]
+        gpu_avg = average_latency_ms([row.baseline for row in column.rows])
+        dfx_avg = average_latency_ms([row.dfx for row in column.rows])
+        rows.append(["Average", gpu_avg, dfx_avg, column.average_speedup])
+        print(format_table(["workload", "GPU (ms)", "DFX (ms)", "speedup"], rows))
+        print(
+            f"paper averages: GPU {PAPER_AVERAGE_GPU_MS[name]:.1f} ms, "
+            f"DFX {PAPER_AVERAGE_DFX_MS[name]:.1f} ms, "
+            f"speedup {PAPER_AVERAGE_SPEEDUPS[name]:.2f}x "
+            f"(ours {column.average_speedup:.2f}x)"
+        )
+
+    speedups = result.speedups()
+    # Shape checks: every model shows a healthy speedup, the speedup grows
+    # with model size, and each value is within ~35% of the paper's number.
+    assert speedups["gpt2-345m"] < speedups["gpt2-774m"] < speedups["gpt2-1.5b"]
+    for name, paper_value in PAPER_AVERAGE_SPEEDUPS.items():
+        assert abs(speedups[name] - paper_value) / paper_value < 0.35
+
+
+def test_figure14_single_workload_latency(benchmark):
+    """Micro-benchmark: a single DFX appliance run on the [32:64] workload."""
+    from repro.core.appliance import DFXAppliance
+    from repro.model.config import GPT2_1_5B
+    from repro.workloads import Workload
+
+    appliance = DFXAppliance(GPT2_1_5B, num_devices=4)
+    result = benchmark.pedantic(
+        appliance.run, args=(Workload(32, 64),), rounds=3, iterations=1
+    )
+    print(f"\nDFX [32:64] on 1.5B/4FPGA: {result.latency_ms:.1f} ms (paper 660.4 ms)")
+    assert 400 < result.latency_ms < 1000

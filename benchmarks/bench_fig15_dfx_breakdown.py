@@ -1,0 +1,46 @@
+"""Figure 15: DFX latency breakdown on the 1.5B model with 4 FPGAs.
+
+The paper attributes 43.0% of the latency to self-attention, 29.6% to the
+feed-forward network, 17.3% to ring synchronization, 9.3% to layer
+normalization, and 0.8% to the residual additions.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure15
+from repro.analysis.reports import format_fractions
+from repro.results import (
+    PHASE_FFN,
+    PHASE_LAYERNORM,
+    PHASE_RESIDUAL,
+    PHASE_SELF_ATTENTION,
+    PHASE_SYNC,
+)
+
+PAPER_FRACTIONS = {
+    PHASE_SELF_ATTENTION: 0.430,
+    PHASE_FFN: 0.296,
+    PHASE_SYNC: 0.173,
+    PHASE_LAYERNORM: 0.093,
+    PHASE_RESIDUAL: 0.008,
+}
+
+
+def test_figure15_dfx_latency_breakdown(benchmark):
+    report = run_once(benchmark, run_figure15)
+
+    print_header("Figure 15 — DFX latency breakdown (1.5B model, 4 FPGAs)")
+    print(format_fractions(report.fractions))
+    print("\nPaper:")
+    print(format_fractions(PAPER_FRACTIONS))
+
+    fractions = report.fractions
+    # Shape checks: the two matrix-heavy phases dominate, synchronization is a
+    # double-digit share (unlike the GPU, which has no ring), and the residual
+    # share is negligible.
+    assert fractions[PHASE_SELF_ATTENTION] + fractions[PHASE_FFN] > 0.55
+    assert 0.05 < fractions[PHASE_SYNC] < 0.30
+    assert fractions[PHASE_RESIDUAL] < 0.05
+    assert fractions[PHASE_LAYERNORM] < 0.20
+    for phase, paper_value in PAPER_FRACTIONS.items():
+        assert abs(fractions[phase] - paper_value) < 0.15

@@ -1,0 +1,48 @@
+"""Figure 16: throughput and normalized energy efficiency (1.5B, 4 vs 4).
+
+The paper reports a 3.78x average throughput gain and a 3.99x average energy
+efficiency gain for DFX over the GPU appliance across the workload grid.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.energy import energy_efficiency_rows
+from repro.analysis.experiments import run_figure16
+from repro.analysis.reports import format_table
+
+PAPER_THROUGHPUT_GAIN = 3.78
+PAPER_ENERGY_GAIN = 3.99
+
+
+def test_figure16_throughput_and_energy_efficiency(benchmark):
+    result = run_once(benchmark, run_figure16)
+
+    print_header("Figure 16 — throughput and energy efficiency (1.5B model)")
+    rows = []
+    for comparison, energy in zip(result.rows, energy_efficiency_rows(list(result.rows))):
+        rows.append([
+            comparison.workload.label,
+            comparison.baseline.tokens_per_second,
+            comparison.dfx.tokens_per_second,
+            energy.normalized_dfx,
+        ])
+    print(format_table(
+        ["workload", "GPU tokens/s", "DFX tokens/s", "normalized energy eff."], rows
+    ))
+    print(
+        f"\naverage throughput gain: {result.throughput_gain:.2f}x "
+        f"(paper {PAPER_THROUGHPUT_GAIN:.2f}x)"
+    )
+    print(
+        f"average energy-efficiency gain: {result.energy_efficiency_gain:.2f}x "
+        f"(paper {PAPER_ENERGY_GAIN:.2f}x)"
+    )
+
+    assert abs(result.throughput_gain - PAPER_THROUGHPUT_GAIN) / PAPER_THROUGHPUT_GAIN < 0.45
+    assert abs(result.energy_efficiency_gain - PAPER_ENERGY_GAIN) / PAPER_ENERGY_GAIN < 0.45
+    # GPU throughput stays roughly flat as output length grows (underutilized);
+    # DFX throughput rises because the fixed summarization cost amortizes.
+    gpu_by_label = {row.workload.label: row.baseline.tokens_per_second for row in result.rows}
+    dfx_by_label = {row.workload.label: row.dfx.tokens_per_second for row in result.rows}
+    assert dfx_by_label["[32:256]"] > dfx_by_label["[32:4]"]
+    assert gpu_by_label["[32:256]"] < 3 * gpu_by_label["[32:4]"]

@@ -1,0 +1,49 @@
+"""Figure 17: achieved GFLOP/s of GPU, TPU, and DFX (345M model, 64:64).
+
+The GPU and TPU achieve high throughput in the summarization stage and
+collapse in the generation stage (1632 -> 41 and 675 -> 8 GFLOP/s in the
+paper); DFX sustains nearly the same GFLOP/s in both stages because both use
+the same matrix-vector dataflow.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure17
+from repro.analysis.reports import format_table
+
+PAPER_VALUES = {
+    "gpu-appliance": (1632.1, 40.6, 80.4),
+    "tpu": (674.5, 8.2, 16.1),
+    "dfx": (185.6, 181.8, 184.1),
+}
+
+
+def test_figure17_gflops_by_platform_and_stage(benchmark):
+    result = run_once(benchmark, run_figure17)
+
+    print_header("Figure 17 — achieved GFLOP/s by platform and stage (345M, 64:64)")
+    rows = []
+    for stage_result in (result.gpu, result.tpu, result.dfx):
+        paper = PAPER_VALUES[stage_result.platform]
+        rows.append([
+            stage_result.platform,
+            stage_result.summarization_gflops,
+            stage_result.generation_gflops,
+            stage_result.total_gflops,
+            f"{paper[0]:.0f}/{paper[1]:.0f}/{paper[2]:.0f}",
+        ])
+    print(format_table(
+        ["platform", "summarization", "generation", "total", "paper (s/g/t)"], rows
+    ))
+
+    # Shape checks that carry the paper's argument:
+    # 1) GPU and TPU collapse by an order of magnitude in the generation stage.
+    assert result.gpu.summarization_gflops > 10 * result.gpu.generation_gflops
+    assert result.tpu.summarization_gflops > 10 * result.tpu.generation_gflops
+    # 2) DFX sustains nearly constant GFLOP/s across stages.
+    assert abs(result.dfx.summarization_gflops - result.dfx.generation_gflops) < (
+        0.2 * result.dfx.summarization_gflops
+    )
+    # 3) In the generation stage DFX beats both baselines by a wide margin.
+    assert result.dfx.generation_gflops > 2 * result.gpu.generation_gflops
+    assert result.dfx.generation_gflops > 5 * result.tpu.generation_gflops

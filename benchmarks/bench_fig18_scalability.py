@@ -1,0 +1,33 @@
+"""Figure 18: DFX throughput scaling with the number of FPGAs (345M, 64:64).
+
+The paper measures 93.10 / 146.25 / 207.56 tokens/s on 1 / 2 / 4 FPGAs — a
+~1.5x gain per doubling, sub-linear because layer normalization and residual
+are not parallelized and each extra device adds synchronization traffic.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_figure18
+from repro.analysis.reports import format_table
+
+PAPER_TOKENS_PER_SECOND = {1: 93.10, 2: 146.25, 4: 207.56}
+
+
+def test_figure18_scalability(benchmark):
+    result = run_once(benchmark, run_figure18)
+
+    print_header("Figure 18 — DFX scalability (345M model, 64:64)")
+    rows = []
+    for count, tokens_per_second in zip(result.device_counts, result.tokens_per_second):
+        rows.append([f"{count} FPGA(s)", tokens_per_second, PAPER_TOKENS_PER_SECOND[count]])
+    print(format_table(["cluster size", "tokens/s (ours)", "tokens/s (paper)"], rows))
+    factors = result.scaling_factors()
+    print(f"scaling factors: {[f'{f:.2f}x' for f in factors]} (paper 1.57x, 1.42x)")
+
+    # Monotone but sub-linear scaling, each point within ~25% of the paper.
+    assert result.tokens_per_second[0] < result.tokens_per_second[1] < result.tokens_per_second[2]
+    for factor in factors:
+        assert 1.2 < factor < 1.9
+    for count, tokens_per_second in zip(result.device_counts, result.tokens_per_second):
+        paper = PAPER_TOKENS_PER_SECOND[count]
+        assert abs(tokens_per_second - paper) / paper < 0.25

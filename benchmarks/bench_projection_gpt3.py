@@ -1,0 +1,50 @@
+"""Extension study: projecting DFX to GPT-3-class models.
+
+Not a paper figure — it quantifies the paper's claim (Sec. II-A, conclusion)
+that the acceleration strategy applies to GPT-3: for each GPT-3-family size we
+report the minimum cluster that fits it and the projected per-token latency.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.projections import GPT3_FAMILY, project_family
+from repro.analysis.reports import format_table
+from repro.model.config import GPT2_1_5B
+from repro.workloads import Workload
+
+WORKLOAD = Workload(64, 64)
+
+
+def test_projection_to_gpt3_family(benchmark):
+    projections = run_once(
+        benchmark,
+        project_family,
+        (GPT2_1_5B,) + GPT3_FAMILY,
+        WORKLOAD,
+    )
+
+    print_header("Projection — GPT-3-family models on DFX (64:64 workload)")
+    rows = []
+    for projection in projections:
+        rows.append([
+            projection.config.name,
+            f"{projection.config.total_parameter_count() / 1e9:.1f}B",
+            projection.sizing.num_devices,
+            f"{100 * projection.sizing.hbm_utilization:.0f}%",
+            projection.per_token_generation_ms,
+            projection.tokens_per_second,
+        ])
+    print(format_table(
+        ["model", "params", "FPGAs", "HBM util", "ms/token", "tokens/s"], rows
+    ))
+
+    by_name = {projection.config.name: projection for projection in projections}
+    assert set(by_name) >= {"gpt2-1.5b", "gpt3-6.7b", "gpt3-13b"}
+    # Cluster size grows with model size; per-token latency grows with the
+    # per-device weight footprint.
+    assert by_name["gpt3-6.7b"].sizing.num_devices > by_name["gpt2-1.5b"].sizing.num_devices
+    assert by_name["gpt3-13b"].sizing.num_devices >= by_name["gpt3-6.7b"].sizing.num_devices
+    assert (
+        by_name["gpt3-13b"].per_token_generation_ms
+        > by_name["gpt2-1.5b"].per_token_generation_ms
+    )

@@ -1,0 +1,38 @@
+"""Table I: GPT-2 model configurations.
+
+Regenerates the model-configuration table (parameter count, embedding
+dimension, head count, head dimension, layer count) for the three evaluated
+models.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_table1
+from repro.analysis.reports import format_table
+
+
+def test_table1_model_configurations(benchmark):
+    rows = run_once(benchmark, run_table1)
+
+    print_header("Table I — GPT-2 model configurations")
+    print(
+        format_table(
+            ["model", "params", "emb dim", "heads", "head dim", "layers"],
+            [
+                [
+                    row["model"],
+                    f"{row['parameters'] / 1e6:.0f}M",
+                    row["embedding_dimension"],
+                    row["attention_heads"],
+                    row["head_dimension"],
+                    row["layers"],
+                ]
+                for row in rows
+            ],
+        )
+    )
+    print("Paper: 345M/1024/16/64/24, 774M/1280/20/64/36, 1.5B/1536/24/64/48")
+
+    assert len(rows) == 3
+    assert [row["layers"] for row in rows] == [24, 36, 48]
+    assert [row["embedding_dimension"] for row in rows] == [1024, 1280, 1536]

@@ -1,0 +1,58 @@
+"""Table II: appliance cost analysis.
+
+Compares the 4xV100 GPU appliance against the 4xU280 DFX appliance on upfront
+accelerator cost and tokens/s per million dollars (1.5B model, 64:64).  The
+paper reports a $14,652 saving and an 8.21x cost-effectiveness gain.
+"""
+
+from _bench_helpers import print_header, run_once
+
+from repro.analysis.experiments import run_table2
+from repro.analysis.reports import format_table
+
+PAPER_GPU_TOKENS_PER_SECOND = 13.01
+PAPER_DFX_TOKENS_PER_SECOND = 72.68
+PAPER_COST_EFFECTIVENESS_GAIN = 8.21
+
+
+def test_table2_cost_analysis(benchmark):
+    comparison = run_once(benchmark, run_table2)
+
+    print_header("Table II — appliance cost analysis (1.5B model, 64:64)")
+    rows = [
+        [
+            "GPU appliance",
+            comparison.gpu.sheet.accelerator_name,
+            comparison.gpu.accelerator_cost_usd,
+            comparison.gpu.tokens_per_second,
+            comparison.gpu.tokens_per_second_per_million_usd,
+        ],
+        [
+            "DFX",
+            comparison.dfx.sheet.accelerator_name,
+            comparison.dfx.accelerator_cost_usd,
+            comparison.dfx.tokens_per_second,
+            comparison.dfx.tokens_per_second_per_million_usd,
+        ],
+    ]
+    print(format_table(
+        ["appliance", "accelerators", "cost ($)", "tokens/s", "tokens/s per M$"], rows
+    ))
+    print(
+        f"\nupfront saving: ${comparison.upfront_saving_usd:,.0f} (paper $14,652); "
+        f"cost-effectiveness gain: {comparison.cost_effectiveness_gain:.2f}x "
+        f"(paper {PAPER_COST_EFFECTIVENESS_GAIN:.2f}x)"
+    )
+    print(
+        f"paper throughputs: GPU {PAPER_GPU_TOKENS_PER_SECOND} tokens/s, "
+        f"DFX {PAPER_DFX_TOKENS_PER_SECOND} tokens/s"
+    )
+
+    assert comparison.upfront_saving_usd == 14_652
+    assert abs(comparison.gpu.tokens_per_second - PAPER_GPU_TOKENS_PER_SECOND) < 3.0
+    assert abs(comparison.dfx.tokens_per_second - PAPER_DFX_TOKENS_PER_SECOND) < 20.0
+    assert (
+        abs(comparison.cost_effectiveness_gain - PAPER_COST_EFFECTIVENESS_GAIN)
+        / PAPER_COST_EFFECTIVENESS_GAIN
+        < 0.40
+    )

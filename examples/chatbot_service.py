@@ -1,0 +1,107 @@
+"""Chatbot service scenario (paper Sec. II-A: ~50 input tokens, ~50 output tokens).
+
+Simulates a multi-turn chat session: every turn appends the user's message to
+the running context and generates a reply.  The script reports per-turn
+latency on the DFX appliance and on the GPU appliance, plus the service-level
+metrics a datacenter operator would size capacity with (tokens/s, J/request,
+requests/hour per appliance).
+
+Run with:  python examples/chatbot_service.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import CHATBOT_WORKLOAD, DFXAppliance, GPT2_1_5B, GPUAppliance, Workload
+from repro.analysis.reports import format_table
+
+#: A scripted five-turn conversation: (user tokens, assistant tokens) per turn.
+CONVERSATION_TURNS: tuple[tuple[int, int], ...] = (
+    (42, 38),
+    (55, 61),
+    (23, 47),
+    (64, 52),
+    (31, 44),
+)
+
+
+@dataclass
+class TurnCost:
+    """Latency of one conversation turn on one platform."""
+
+    turn: int
+    context_tokens: int
+    reply_tokens: int
+    latency_ms: float
+
+
+def simulate_conversation(appliance, turns=CONVERSATION_TURNS) -> list[TurnCost]:
+    """Play the scripted conversation and record per-turn latency.
+
+    Each turn's prompt is the whole conversation so far plus the new user
+    message (the paper's summarization stage re-reads the accumulated
+    context), and the reply length is that turn's assistant token count.
+    """
+    costs: list[TurnCost] = []
+    context = 0
+    for index, (user_tokens, reply_tokens) in enumerate(turns, start=1):
+        context += user_tokens
+        workload = Workload(input_tokens=context, output_tokens=reply_tokens)
+        result = appliance.run(workload)
+        costs.append(
+            TurnCost(
+                turn=index,
+                context_tokens=context,
+                reply_tokens=reply_tokens,
+                latency_ms=result.latency_ms,
+            )
+        )
+        context += reply_tokens
+    return costs
+
+
+def main() -> None:
+    dfx = DFXAppliance(GPT2_1_5B, num_devices=4)
+    gpu = GPUAppliance(GPT2_1_5B, num_devices=4)
+
+    dfx_costs = simulate_conversation(dfx)
+    gpu_costs = simulate_conversation(gpu)
+
+    print("== Multi-turn chatbot on GPT-2 1.5B (4 FPGAs vs 4 GPUs) ==\n")
+    rows = []
+    for dfx_turn, gpu_turn in zip(dfx_costs, gpu_costs):
+        rows.append([
+            dfx_turn.turn,
+            dfx_turn.context_tokens,
+            dfx_turn.reply_tokens,
+            gpu_turn.latency_ms,
+            dfx_turn.latency_ms,
+            gpu_turn.latency_ms / dfx_turn.latency_ms,
+        ])
+    print(format_table(
+        ["turn", "context", "reply", "GPU (ms)", "DFX (ms)", "speedup"], rows
+    ))
+
+    dfx_total = sum(turn.latency_ms for turn in dfx_costs)
+    gpu_total = sum(turn.latency_ms for turn in gpu_costs)
+    print(f"\nwhole conversation: GPU {gpu_total / 1e3:.2f} s vs DFX {dfx_total / 1e3:.2f} s "
+          f"({gpu_total / dfx_total:.2f}x faster)")
+
+    # Service-level sizing with the paper's canonical 50:50 chatbot request.
+    reference_dfx = dfx.run(CHATBOT_WORKLOAD)
+    reference_gpu = gpu.run(CHATBOT_WORKLOAD)
+    print("\n== Capacity planning with the canonical [50:50] chatbot request ==")
+    print(format_table(
+        ["platform", "latency (ms)", "tokens/s", "J/request", "requests/hour"],
+        [
+            ["GPU appliance", reference_gpu.latency_ms, reference_gpu.tokens_per_second,
+             reference_gpu.energy_joules, 3600.0 / reference_gpu.latency_s],
+            ["DFX", reference_dfx.latency_ms, reference_dfx.tokens_per_second,
+             reference_dfx.energy_joules, 3600.0 / reference_dfx.latency_s],
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Run every paper experiment and print a compact paper-vs-measured report.
+
+This is the script used to populate EXPERIMENTS.md.  It exercises the same
+experiment drivers as the benchmark harness but without pytest, so it can be
+run directly:
+
+    python scripts/run_all_experiments.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.analysis.metrics import average_latency_ms
+from repro.results import (
+    PHASE_FFN,
+    PHASE_LAYERNORM,
+    PHASE_RESIDUAL,
+    PHASE_SELF_ATTENTION,
+    PHASE_SYNC,
+)
+
+
+def section(title: str) -> None:
+    print()
+    print(f"### {title}")
+
+
+def main() -> None:
+    print("DFX reproduction — experiment report")
+
+    section("Table I — model configurations")
+    for row in experiments.run_table1():
+        print(f"{row['model']}: {row['parameters'] / 1e6:.0f}M params, "
+              f"emb {row['embedding_dimension']}, heads {row['attention_heads']}, "
+              f"head dim {row['head_dimension']}, layers {row['layers']}")
+
+    section("Figure 3 — GPU sequential bottleneck (1.5B, 4 GPUs)")
+    fig3 = experiments.run_figure3()
+    print(f"marginal output-token cost: {fig3.marginal_output_token_ms:.2f} ms (paper 75.45)")
+    print(f"marginal input-token cost : {fig3.marginal_input_token_ms:.3f} ms (paper 0.02)")
+
+    section("Figure 4 — GPU breakdown")
+    fig4 = experiments.run_figure4()
+    print("latency fractions:", {k: round(v, 3) for k, v in fig4.latency_fractions.items()})
+    print("operation fractions:", {k: round(v, 4) for k, v in fig4.operation_fractions.items()})
+
+    section("Figure 8 — tile-shape DSE")
+    fig8 = experiments.run_figure8()
+    print("MHA GFLOP/s:", {k: round(v, 1) for k, v in fig8.mha_gflops.items()})
+    print("chosen point:", fig8.cheapest_best_point())
+
+    section("Figure 13 — resource utilization (d=64, l=16)")
+    fig13 = experiments.run_figure13()
+    totals = fig13.utilization()["total"]
+    print({k: f"{100 * v:.1f}%" for k, v in totals.items()})
+
+    section("Figure 14 — latency grid")
+    fig14 = experiments.run_figure14()
+    for column in fig14.columns:
+        gpu_avg = average_latency_ms([row.baseline for row in column.rows])
+        dfx_avg = average_latency_ms([row.dfx for row in column.rows])
+        print(f"{column.setup.label}: GPU avg {gpu_avg:.0f} ms, DFX avg {dfx_avg:.0f} ms, "
+              f"speedup {column.average_speedup:.2f}x")
+        print("  per-workload DFX ms:",
+              [round(row.dfx.latency_ms, 1) for row in column.rows])
+
+    section("Figure 15 — DFX latency breakdown (1.5B, 4 FPGAs, 64:64)")
+    fig15 = experiments.run_figure15()
+    order = (PHASE_SELF_ATTENTION, PHASE_FFN, PHASE_SYNC, PHASE_LAYERNORM, PHASE_RESIDUAL)
+    print({phase: f"{100 * fig15.fractions[phase]:.1f}%" for phase in order})
+
+    section("Figure 16 — throughput and energy efficiency (1.5B)")
+    fig16 = experiments.run_figure16()
+    print(f"throughput gain: {fig16.throughput_gain:.2f}x (paper 3.78)")
+    print(f"energy-efficiency gain: {fig16.energy_efficiency_gain:.2f}x (paper 3.99)")
+
+    section("Figure 17 — GFLOP/s by platform (345M, 64:64)")
+    fig17 = experiments.run_figure17()
+    for stage in (fig17.gpu, fig17.tpu, fig17.dfx):
+        print(f"{stage.platform:>14s}: summarization {stage.summarization_gflops:7.1f}, "
+              f"generation {stage.generation_gflops:7.1f}, total {stage.total_gflops:7.1f}")
+
+    section("Figure 18 — scalability (345M, 64:64)")
+    fig18 = experiments.run_figure18()
+    for count, tokens in zip(fig18.device_counts, fig18.tokens_per_second):
+        print(f"{count} FPGA(s): {tokens:.2f} tokens/s")
+    print("scaling factors:", [round(f, 2) for f in fig18.scaling_factors()])
+
+    section("Table II — cost analysis (1.5B, 64:64)")
+    table2 = experiments.run_table2()
+    print(f"GPU: {table2.gpu.tokens_per_second:.2f} tokens/s, "
+          f"${table2.gpu.accelerator_cost_usd:,.0f}, "
+          f"{table2.gpu.tokens_per_second_per_million_usd:.1f} tokens/s/M$")
+    print(f"DFX: {table2.dfx.tokens_per_second:.2f} tokens/s, "
+          f"${table2.dfx.accelerator_cost_usd:,.0f}, "
+          f"{table2.dfx.tokens_per_second_per_million_usd:.1f} tokens/s/M$")
+    print(f"cost-effectiveness gain: {table2.cost_effectiveness_gain:.2f}x (paper 8.21)")
+
+    section("Sec. VII-A — accuracy comparison (synthetic cloze stand-ins)")
+    for comparison in experiments.run_accuracy_comparison():
+        print(f"{comparison.dataset_name}: GPU {100 * comparison.gpu.accuracy:.1f}%, "
+              f"DFX {100 * comparison.dfx.accuracy:.1f}%, "
+              f"delta {100 * comparison.accuracy_delta:+.2f}%, "
+              f"agreement {100 * comparison.agreement:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose pip/setuptools/wheel trio is
+too old for PEP 660 editable installs (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

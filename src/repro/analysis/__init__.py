@@ -1,0 +1,64 @@
+"""Analysis layer: metrics, breakdowns, energy, cost, report formatting, and
+per-figure experiment drivers."""
+
+from repro.analysis.metrics import (
+    ComparisonRow,
+    StageGflops,
+    average_latency_ms,
+    average_speedup,
+    average_throughput_ratio,
+    average_throughput_tokens_per_second,
+    geometric_mean_speedup,
+    pair_results,
+    stage_gflops,
+)
+from repro.analysis.breakdown import (
+    BreakdownReport,
+    aggregate_breakdown,
+    dfx_breakdown,
+    gpu_breakdown,
+)
+from repro.analysis.energy import (
+    EnergyEfficiencyRow,
+    average_energy_efficiency_gain,
+    energy_efficiency_rows,
+)
+from repro.analysis.cost import CostAnalysisRow, CostComparison, cost_comparison
+from repro.analysis.reports import format_fractions, format_speedup_series, format_table
+from repro.analysis.workload_presets import (
+    EvaluationSetup,
+    PAPER_EVALUATION_SETUPS,
+    PRIMARY_SETUP,
+    SCALABILITY_SETUP,
+)
+from repro.analysis import experiments
+
+__all__ = [
+    "ComparisonRow",
+    "StageGflops",
+    "average_latency_ms",
+    "average_speedup",
+    "average_throughput_ratio",
+    "average_throughput_tokens_per_second",
+    "geometric_mean_speedup",
+    "pair_results",
+    "stage_gflops",
+    "BreakdownReport",
+    "aggregate_breakdown",
+    "dfx_breakdown",
+    "gpu_breakdown",
+    "EnergyEfficiencyRow",
+    "average_energy_efficiency_gain",
+    "energy_efficiency_rows",
+    "CostAnalysisRow",
+    "CostComparison",
+    "cost_comparison",
+    "format_fractions",
+    "format_speedup_series",
+    "format_table",
+    "EvaluationSetup",
+    "PAPER_EVALUATION_SETUPS",
+    "PRIMARY_SETUP",
+    "SCALABILITY_SETUP",
+    "experiments",
+]

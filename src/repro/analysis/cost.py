@@ -1,0 +1,69 @@
+"""Appliance cost analysis (paper Table II).
+
+The paper compares the two appliances on upfront accelerator cost and on
+performance-per-dollar, using the 1.5B model with the 64:64 chatbot-like
+workload as the representative service point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.specs import ApplianceCostSheet, DFX_APPLIANCE_COST, GPU_APPLIANCE_COST
+from repro.results import InferenceResult
+
+
+@dataclass(frozen=True)
+class CostAnalysisRow:
+    """One appliance's row of Table II."""
+
+    sheet: ApplianceCostSheet
+    tokens_per_second: float
+
+    @property
+    def accelerator_cost_usd(self) -> float:
+        """Upfront accelerator cost of the appliance."""
+        return self.sheet.accelerator_cost_usd
+
+    @property
+    def tokens_per_second_per_million_usd(self) -> float:
+        """Performance per cost: tokens/s per million dollars of accelerators."""
+        if self.accelerator_cost_usd == 0:
+            return float("inf")
+        return self.tokens_per_second / (self.accelerator_cost_usd / 1e6)
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Table II: GPU appliance vs DFX cost effectiveness."""
+
+    gpu: CostAnalysisRow
+    dfx: CostAnalysisRow
+
+    @property
+    def upfront_saving_usd(self) -> float:
+        """How much cheaper the DFX accelerators are (paper: $14,652)."""
+        return self.gpu.accelerator_cost_usd - self.dfx.accelerator_cost_usd
+
+    @property
+    def cost_effectiveness_gain(self) -> float:
+        """DFX perf/$ divided by GPU perf/$ (paper: 8.21x)."""
+        if self.gpu.tokens_per_second_per_million_usd == 0:
+            return float("inf")
+        return (
+            self.dfx.tokens_per_second_per_million_usd
+            / self.gpu.tokens_per_second_per_million_usd
+        )
+
+
+def cost_comparison(
+    gpu_result: InferenceResult,
+    dfx_result: InferenceResult,
+    gpu_sheet: ApplianceCostSheet = GPU_APPLIANCE_COST,
+    dfx_sheet: ApplianceCostSheet = DFX_APPLIANCE_COST,
+) -> CostComparison:
+    """Build the Table II comparison from one result per appliance."""
+    return CostComparison(
+        gpu=CostAnalysisRow(sheet=gpu_sheet, tokens_per_second=gpu_result.tokens_per_second),
+        dfx=CostAnalysisRow(sheet=dfx_sheet, tokens_per_second=dfx_result.tokens_per_second),
+    )

@@ -1,0 +1,335 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver builds the relevant platform models, runs the paper's workloads,
+and returns a structured result object.  The benchmark modules under
+``benchmarks/`` and the examples call these drivers and print the same
+rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.breakdown import BreakdownReport, dfx_breakdown, gpu_breakdown
+from repro.analysis.cost import CostComparison, cost_comparison
+from repro.analysis.energy import average_energy_efficiency_gain
+from repro.analysis.metrics import (
+    ComparisonRow,
+    StageGflops,
+    average_speedup,
+    average_throughput_ratio,
+    pair_results,
+    stage_gflops,
+)
+from repro.analysis.workload_presets import (
+    EvaluationSetup,
+    PAPER_EVALUATION_SETUPS,
+    PRIMARY_SETUP,
+    SCALABILITY_SETUP,
+)
+from repro.baselines.gpu import GPUAppliance
+from repro.baselines.tpu import TPUBaseline
+from repro.core.appliance import DFXAppliance
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.tiling import design_space_mha_sweep
+from repro.fpga.resources import CoreResourceReport, design_space_resource_sweep, estimate_core_resources
+from repro.model.accuracy import AccuracyComparison, compare_pipelines
+from repro.model.config import GPT2Config, GPT2_1_5B, GPT2_345M, GPT2_TEST_SMALL, PAPER_MODELS
+from repro.model.datasets import paper_datasets
+from repro.model.gpt2 import GPT2Model
+from repro.model.numerics import FP16_DFX, FP16_GPU
+from repro.model.weights import generate_weights
+from repro.results import InferenceResult
+from repro.workloads import (
+    BALANCED_64_64_WORKLOAD,
+    FIGURE3_WORKLOADS,
+    PAPER_WORKLOAD_GRID,
+    Workload,
+)
+
+
+# ---------------------------------------------------------------------- Fig. 3
+@dataclass(frozen=True)
+class Figure3Result:
+    """GPU latency split by stage across the Fig. 3 workload sweep."""
+
+    workloads: tuple[Workload, ...]
+    summarization_ms: tuple[float, ...]
+    generation_ms: tuple[float, ...]
+
+    @property
+    def marginal_output_token_ms(self) -> float:
+        """Average latency added per extra output token."""
+        first = self.summarization_ms[3] + self.generation_ms[3]   # [32:1]
+        last = self.summarization_ms[-1] + self.generation_ms[-1]  # [32:4]
+        return (last - first) / 3.0
+
+    @property
+    def marginal_input_token_ms(self) -> float:
+        """Average latency added per extra input token."""
+        largest = self.summarization_ms[0] + self.generation_ms[0]   # [128:1]
+        smallest = self.summarization_ms[3] + self.generation_ms[3]  # [32:1]
+        return (largest - smallest) / (128 - 32)
+
+
+def run_figure3(
+    config: GPT2Config = GPT2_1_5B, num_devices: int = 4
+) -> Figure3Result:
+    """Fig. 3: GPU latency with increasing input tokens then output tokens."""
+    gpu = GPUAppliance(config, num_devices=num_devices)
+    results = [gpu.run(workload) for workload in FIGURE3_WORKLOADS]
+    return Figure3Result(
+        workloads=FIGURE3_WORKLOADS,
+        summarization_ms=tuple(result.summarization.latency_ms for result in results),
+        generation_ms=tuple(result.generation.latency_ms for result in results),
+    )
+
+
+# ---------------------------------------------------------------------- Fig. 4
+@dataclass(frozen=True)
+class Figure4Result:
+    """GPU latency breakdown vs raw-operation breakdown."""
+
+    latency_fractions: dict[str, float]
+    operation_fractions: dict[str, float]
+
+
+def run_figure4(
+    config: GPT2Config = GPT2_1_5B,
+    num_devices: int = 4,
+    workload: Workload = BALANCED_64_64_WORKLOAD,
+) -> Figure4Result:
+    """Fig. 4: GPU latency and operation-count breakdown."""
+    gpu = GPUAppliance(config, num_devices=num_devices)
+    result = gpu.run(workload)
+    return Figure4Result(
+        latency_fractions=gpu_breakdown([result]).fractions,
+        operation_fractions=gpu.operation_count_fractions(),
+    )
+
+
+# ---------------------------------------------------------------------- Fig. 8
+@dataclass(frozen=True)
+class Figure8Result:
+    """Design-space exploration of the tile shape (d, l)."""
+
+    mha_gflops: dict[tuple[int, int], float]
+    resource_reports: dict[tuple[int, int], CoreResourceReport]
+
+    def best_performing_points(self, tolerance: float = 0.05) -> list[tuple[int, int]]:
+        """Design points within ``tolerance`` of the best MHA throughput."""
+        best = max(self.mha_gflops.values())
+        return [
+            point
+            for point, gflops in self.mha_gflops.items()
+            if gflops >= best * (1.0 - tolerance)
+        ]
+
+    def cheapest_best_point(self) -> tuple[int, int]:
+        """Among the best performers, the point with the fewest LUTs (the paper's d=64)."""
+        candidates = self.best_performing_points()
+        return min(candidates, key=lambda point: self.resource_reports[point].components["mpu"].lut)
+
+
+def run_figure8(config: GPT2Config = GPT2_1_5B, kv_length: int = 64) -> Figure8Result:
+    """Fig. 8: tile-shape DSE — MHA performance (a) and resource cost (b)."""
+    return Figure8Result(
+        mha_gflops=design_space_mha_sweep(config, kv_length),
+        resource_reports=design_space_resource_sweep(),
+    )
+
+
+# --------------------------------------------------------------------- Fig. 13
+def run_figure13() -> CoreResourceReport:
+    """Fig. 13: per-component resource utilization of the final (64, 16) core."""
+    return estimate_core_resources(d=64, l=16)
+
+
+# --------------------------------------------------------------------- Fig. 14
+@dataclass(frozen=True)
+class Figure14Column:
+    """One model-size group of Fig. 14."""
+
+    setup: EvaluationSetup
+    rows: tuple[ComparisonRow, ...]
+
+    @property
+    def average_speedup(self) -> float:
+        return average_speedup(list(self.rows))
+
+
+@dataclass(frozen=True)
+class Figure14Result:
+    """All model-size groups of Fig. 14."""
+
+    columns: tuple[Figure14Column, ...]
+
+    def speedups(self) -> dict[str, float]:
+        """Average speedup per model label."""
+        return {column.setup.config.name: column.average_speedup for column in self.columns}
+
+
+def run_figure14(
+    setups: tuple[EvaluationSetup, ...] = PAPER_EVALUATION_SETUPS,
+    workloads: tuple[Workload, ...] = PAPER_WORKLOAD_GRID,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Figure14Result:
+    """Fig. 14: DFX vs GPU latency over the 15-workload grid for each model."""
+    columns = []
+    for setup in setups:
+        gpu = GPUAppliance(setup.config, num_devices=setup.num_devices)
+        dfx = DFXAppliance(
+            setup.config, num_devices=setup.num_devices, calibration=calibration
+        )
+        gpu_results = gpu.run_many(list(workloads))
+        dfx_results = dfx.run_many(list(workloads))
+        columns.append(
+            Figure14Column(setup=setup, rows=tuple(pair_results(gpu_results, dfx_results)))
+        )
+    return Figure14Result(columns=tuple(columns))
+
+
+# --------------------------------------------------------------------- Fig. 15
+def run_figure15(
+    setup: EvaluationSetup = PRIMARY_SETUP,
+    workload: Workload = BALANCED_64_64_WORKLOAD,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> BreakdownReport:
+    """Fig. 15: DFX latency breakdown on the 1.5B model with 4 FPGAs."""
+    dfx = DFXAppliance(setup.config, num_devices=setup.num_devices, calibration=calibration)
+    return dfx_breakdown([dfx.run(workload)])
+
+
+# --------------------------------------------------------------------- Fig. 16
+@dataclass(frozen=True)
+class Figure16Result:
+    """Throughput and energy efficiency over the workload grid (1.5B model)."""
+
+    rows: tuple[ComparisonRow, ...]
+
+    @property
+    def throughput_gain(self) -> float:
+        return average_throughput_ratio(list(self.rows))
+
+    @property
+    def energy_efficiency_gain(self) -> float:
+        return average_energy_efficiency_gain(list(self.rows))
+
+
+def run_figure16(
+    setup: EvaluationSetup = PRIMARY_SETUP,
+    workloads: tuple[Workload, ...] = PAPER_WORKLOAD_GRID,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Figure16Result:
+    """Fig. 16: throughput and normalized energy efficiency on the 1.5B model."""
+    gpu = GPUAppliance(setup.config, num_devices=setup.num_devices)
+    dfx = DFXAppliance(setup.config, num_devices=setup.num_devices, calibration=calibration)
+    rows = pair_results(gpu.run_many(list(workloads)), dfx.run_many(list(workloads)))
+    return Figure16Result(rows=tuple(rows))
+
+
+# --------------------------------------------------------------------- Fig. 17
+@dataclass(frozen=True)
+class Figure17Result:
+    """Achieved GFLOP/s per platform and stage (345M model, 64:64)."""
+
+    gpu: StageGflops
+    tpu: StageGflops
+    dfx: StageGflops
+
+
+def run_figure17(
+    config: GPT2Config = GPT2_345M,
+    workload: Workload = BALANCED_64_64_WORKLOAD,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Figure17Result:
+    """Fig. 17: GPU vs TPU vs DFX (1 FPGA) achieved GFLOP/s by stage."""
+    gpu = GPUAppliance(config, num_devices=1)
+    tpu = TPUBaseline(config)
+    dfx = DFXAppliance(config, num_devices=1, calibration=calibration)
+    return Figure17Result(
+        gpu=stage_gflops(gpu.run(workload)),
+        tpu=stage_gflops(tpu.run(workload)),
+        dfx=stage_gflops(dfx.run(workload)),
+    )
+
+
+# --------------------------------------------------------------------- Fig. 18
+@dataclass(frozen=True)
+class Figure18Result:
+    """DFX throughput scaling with the number of FPGAs (345M model, 64:64)."""
+
+    device_counts: tuple[int, ...]
+    tokens_per_second: tuple[float, ...]
+
+    def scaling_factors(self) -> tuple[float, ...]:
+        """Throughput gain of each step relative to the previous device count."""
+        factors = []
+        for index in range(1, len(self.tokens_per_second)):
+            factors.append(self.tokens_per_second[index] / self.tokens_per_second[index - 1])
+        return tuple(factors)
+
+
+def run_figure18(
+    config: GPT2Config = SCALABILITY_SETUP.config,
+    workload: Workload = BALANCED_64_64_WORKLOAD,
+    device_counts: tuple[int, ...] = (1, 2, 4),
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Figure18Result:
+    """Fig. 18: DFX tokens/s on 1, 2, and 4 FPGAs."""
+    throughputs = []
+    for count in device_counts:
+        dfx = DFXAppliance(config, num_devices=count, calibration=calibration)
+        throughputs.append(dfx.run(workload).tokens_per_second)
+    return Figure18Result(
+        device_counts=device_counts, tokens_per_second=tuple(throughputs)
+    )
+
+
+# -------------------------------------------------------------------- Table I
+def run_table1() -> list[dict[str, object]]:
+    """Table I: the three GPT-2 configurations."""
+    rows = []
+    for config in PAPER_MODELS:
+        rows.append(
+            {
+                "model": config.name,
+                "parameters": config.total_parameter_count(),
+                "embedding_dimension": config.n_embd,
+                "attention_heads": config.n_head,
+                "head_dimension": config.head_dim,
+                "layers": config.n_layer,
+            }
+        )
+    return rows
+
+
+# -------------------------------------------------------------------- Table II
+def run_table2(
+    setup: EvaluationSetup = PRIMARY_SETUP,
+    workload: Workload = BALANCED_64_64_WORKLOAD,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> CostComparison:
+    """Table II: cost analysis on the 1.5B model with the 64:64 workload."""
+    gpu = GPUAppliance(setup.config, num_devices=setup.num_devices)
+    dfx = DFXAppliance(setup.config, num_devices=setup.num_devices, calibration=calibration)
+    return cost_comparison(gpu.run(workload), dfx.run(workload))
+
+
+# ------------------------------------------------------------------- Accuracy
+def run_accuracy_comparison(
+    config: GPT2Config = GPT2_TEST_SMALL, seed: int = 0
+) -> list[AccuracyComparison]:
+    """Sec. VII-A: GPU-pipeline vs DFX-pipeline accuracy on cloze datasets.
+
+    Uses a reduced-size model so the three datasets evaluate in seconds; the
+    numeric pathways (FP16, LUT vs tanh GELU) are identical to the full-size
+    models'.
+    """
+    weights = generate_weights(config, seed=seed)
+    gpu_model = GPT2Model(weights, numerics=FP16_GPU)
+    dfx_model = GPT2Model(weights, numerics=FP16_DFX)
+    comparisons = []
+    for dataset in paper_datasets(config.vocab_size):
+        comparisons.append(compare_pipelines(gpu_model, dfx_model, dataset))
+    return comparisons

@@ -1,0 +1,89 @@
+"""JSON-friendly export of results and experiment outputs.
+
+Benchmarks and CI jobs want machine-readable output next to the printed
+tables; these helpers convert the library's result objects into plain
+dictionaries (JSON-serializable: only str/int/float/bool/list/dict) and back
+out to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.metrics import ComparisonRow
+from repro.results import InferenceResult, StageLatency
+from repro.workloads import Workload
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialize a workload."""
+    return {
+        "input_tokens": workload.input_tokens,
+        "output_tokens": workload.output_tokens,
+        "label": workload.label,
+    }
+
+
+def stage_to_dict(stage: StageLatency) -> dict[str, Any]:
+    """Serialize one stage's latency and breakdown."""
+    return {
+        "latency_ms": stage.latency_ms,
+        "breakdown_ms": dict(stage.breakdown_ms),
+    }
+
+
+def result_to_dict(result: InferenceResult) -> dict[str, Any]:
+    """Serialize an :class:`InferenceResult` with its derived metrics."""
+    return {
+        "platform": result.platform,
+        "model": result.model_name,
+        "workload": workload_to_dict(result.workload),
+        "num_devices": result.num_devices,
+        "summarization": stage_to_dict(result.summarization),
+        "generation": stage_to_dict(result.generation),
+        "latency_ms": result.latency_ms,
+        "tokens_per_second": result.tokens_per_second,
+        "total_power_watts": result.total_power_watts,
+        "energy_joules": result.energy_joules,
+        "tokens_per_joule": result.tokens_per_joule,
+        "flops": result.flops,
+        "gflops": result.gflops,
+    }
+
+
+def comparison_to_dict(row: ComparisonRow) -> dict[str, Any]:
+    """Serialize one baseline-vs-DFX comparison row."""
+    return {
+        "workload": workload_to_dict(row.workload),
+        "baseline": result_to_dict(row.baseline),
+        "dfx": result_to_dict(row.dfx),
+        "speedup": row.speedup,
+        "throughput_ratio": row.throughput_ratio,
+        "energy_efficiency_ratio": row.energy_efficiency_ratio,
+    }
+
+
+def comparison_grid_to_dict(rows: list[ComparisonRow]) -> dict[str, Any]:
+    """Serialize a whole comparison grid plus its aggregate ratios."""
+    from repro.analysis.metrics import average_speedup, average_throughput_ratio
+
+    return {
+        "rows": [comparison_to_dict(row) for row in rows],
+        "average_speedup": average_speedup(rows),
+        "average_throughput_ratio": average_throughput_ratio(rows),
+    }
+
+
+def write_json(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write a serialized payload to ``path`` (creating parent directories)."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return destination
+
+
+def read_json(path: str | Path) -> dict[str, Any]:
+    """Read a payload previously written with :func:`write_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,44 @@
+"""Baseline platform models: the V100 GPU appliance (Megatron-LM), the cloud
+TPU, their hardware specs, and the appliance cost sheets."""
+
+from repro.baselines.specs import (
+    ApplianceCostSheet,
+    DEFAULT_TPU_V3,
+    DEFAULT_V100,
+    DFX_APPLIANCE_COST,
+    GPU_APPLIANCE_COST,
+    GPUSpec,
+    TPUSpec,
+)
+from repro.baselines.gpu import (
+    DEFAULT_GPU_CALIBRATION,
+    GPU_LAYER_TIME_FRACTIONS,
+    GPU_PLATFORM,
+    GPUAppliance,
+    GPUCalibration,
+)
+from repro.baselines.tpu import (
+    DEFAULT_TPU_CALIBRATION,
+    TPU_PLATFORM,
+    TPUBaseline,
+    TPUCalibration,
+)
+
+__all__ = [
+    "ApplianceCostSheet",
+    "DEFAULT_TPU_V3",
+    "DEFAULT_V100",
+    "DFX_APPLIANCE_COST",
+    "GPU_APPLIANCE_COST",
+    "GPUSpec",
+    "TPUSpec",
+    "DEFAULT_GPU_CALIBRATION",
+    "GPU_LAYER_TIME_FRACTIONS",
+    "GPU_PLATFORM",
+    "GPUAppliance",
+    "GPUCalibration",
+    "DEFAULT_TPU_CALIBRATION",
+    "TPU_PLATFORM",
+    "TPUBaseline",
+    "TPUCalibration",
+]

@@ -1,0 +1,89 @@
+"""Hardware specification sheets for the baseline platforms (paper Sec. VII).
+
+The GPU appliance is four NVIDIA Tesla V100 32 GB cards (the closest match to
+the U280's memory capacity/bandwidth class); the TPU comparison uses a cloud
+TPU v3 core.  Prices are the ones the paper's Table II cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GIBI, GIGA
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """NVIDIA V100 (SXM2 32 GB) specification."""
+
+    name: str = "nvidia-tesla-v100-32gb"
+    fp16_peak_tflops: float = 112.0
+    memory_capacity_bytes: int = 32 * GIBI
+    memory_bandwidth: float = 900 * GIGA
+    base_clock_ghz: float = 1.23
+    #: NVLink per-direction bandwidth between peers (GB/s).
+    nvlink_bandwidth: float = 150 * GIGA
+    #: Average board power measured by nvidia-smi during text generation
+    #: (paper Sec. VII-B: ~47.5 W because the GPU is underutilized).
+    average_power_watts: float = 47.5
+    #: Thermal design power (not reached during this workload).
+    tdp_watts: float = 300.0
+    #: Retail price used in Table II.
+    unit_price_usd: float = 11_458.0
+
+
+@dataclass(frozen=True)
+class TPUSpec:
+    """Cloud TPU v3 (single core) specification used for the Fig. 17 comparison."""
+
+    name: str = "cloud-tpu-v3"
+    bf16_peak_tflops: float = 61.0
+    memory_capacity_bytes: int = 16 * GIBI
+    memory_bandwidth: float = 450 * GIGA
+    average_power_watts: float = 80.0
+
+
+#: Default device specs.
+DEFAULT_V100 = GPUSpec()
+DEFAULT_TPU_V3 = TPUSpec()
+
+
+@dataclass(frozen=True)
+class ApplianceCostSheet:
+    """Per-appliance bill of materials used by the Table II cost analysis."""
+
+    name: str
+    accelerator_name: str
+    num_accelerators: int
+    accelerator_unit_price_usd: float
+    cpu_description: str
+    memory_description: str
+    storage_description: str
+
+    @property
+    def accelerator_cost_usd(self) -> float:
+        """Total accelerator cost (the paper compares accelerators only)."""
+        return self.num_accelerators * self.accelerator_unit_price_usd
+
+
+#: Table II row: the custom four-V100 GPU appliance.
+GPU_APPLIANCE_COST = ApplianceCostSheet(
+    name="gpu-appliance",
+    accelerator_name="NVIDIA Tesla V100 32GB",
+    num_accelerators=4,
+    accelerator_unit_price_usd=DEFAULT_V100.unit_price_usd,
+    cpu_description="2x Intel Xeon Gold 14-core @ 2.2 GHz",
+    memory_description="384 GB DDR4",
+    storage_description="12 TB NVMe",
+)
+
+#: Table II row: the DFX appliance.
+DFX_APPLIANCE_COST = ApplianceCostSheet(
+    name="dfx",
+    accelerator_name="Xilinx Alveo U280",
+    num_accelerators=4,
+    accelerator_unit_price_usd=7_795.0,
+    cpu_description="2x Intel Xeon Gold 16-core @ 2.9 GHz",
+    memory_description="512 GB DDR4",
+    storage_description="4 TB NVMe",
+)

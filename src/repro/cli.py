@@ -1,0 +1,150 @@
+"""Command-line interface for the DFX reproduction.
+
+Two subcommands cover the common entry points without writing any Python:
+
+``run``
+    Simulate one text-generation request on the DFX appliance (and optionally
+    the GPU baseline) and print latency, throughput, energy, and the phase
+    breakdown.  ``--json`` writes the machine-readable result to a file.
+
+``experiment``
+    Run one of the paper's experiment drivers by name (``figure14``,
+    ``figure15``, ``table2``, ...) and print its summary.
+
+Examples::
+
+    python -m repro.cli run --model 1.5b --devices 4 --input 64 --output 64
+    python -m repro.cli run --model 345m --devices 1 --input 32 --output 256 --compare-gpu
+    python -m repro.cli experiment figure18
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis import experiments
+from repro.analysis.export import result_to_dict, write_json
+from repro.analysis.reports import format_fractions, format_table
+from repro.baselines.gpu import GPUAppliance
+from repro.core.appliance import DFXAppliance
+from repro.model.config import available_presets, from_preset
+from repro.workloads import Workload
+
+#: Experiment names accepted by the ``experiment`` subcommand.
+EXPERIMENT_RUNNERS: dict[str, Callable[[], object]] = {
+    "table1": experiments.run_table1,
+    "figure3": experiments.run_figure3,
+    "figure4": experiments.run_figure4,
+    "figure8": experiments.run_figure8,
+    "figure13": experiments.run_figure13,
+    "figure14": experiments.run_figure14,
+    "figure15": experiments.run_figure15,
+    "figure16": experiments.run_figure16,
+    "figure17": experiments.run_figure17,
+    "figure18": experiments.run_figure18,
+    "table2": experiments.run_table2,
+    "accuracy": experiments.run_accuracy_comparison,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DFX reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="simulate one generation request")
+    run_parser.add_argument("--model", default="1.5b", choices=available_presets(),
+                            help="GPT-2 preset (default: 1.5b)")
+    run_parser.add_argument("--devices", type=int, default=4,
+                            help="number of FPGAs / GPUs (default: 4)")
+    run_parser.add_argument("--input", type=int, default=64, dest="input_tokens",
+                            help="prompt length in tokens (default: 64)")
+    run_parser.add_argument("--output", type=int, default=64, dest="output_tokens",
+                            help="tokens to generate (default: 64)")
+    run_parser.add_argument("--compare-gpu", action="store_true",
+                            help="also run the calibrated GPU-appliance baseline")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="write the DFX result as JSON to PATH")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiment drivers"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS),
+                                   help="experiment to run")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = from_preset(args.model)
+    workload = Workload(args.input_tokens, args.output_tokens)
+    dfx_result = DFXAppliance(config, num_devices=args.devices).run(workload)
+
+    rows = [[
+        "DFX", dfx_result.latency_ms, dfx_result.tokens_per_second,
+        dfx_result.energy_joules,
+    ]]
+    if args.compare_gpu:
+        gpu_result = GPUAppliance(config, num_devices=args.devices).run(workload)
+        rows.insert(0, [
+            "GPU appliance", gpu_result.latency_ms, gpu_result.tokens_per_second,
+            gpu_result.energy_joules,
+        ])
+        print(f"{config.name} {workload.label} on {args.devices} device(s): "
+              f"speedup {gpu_result.latency_ms / dfx_result.latency_ms:.2f}x")
+    print(format_table(["platform", "latency (ms)", "tokens/s", "energy (J)"], rows))
+    print("\nDFX latency breakdown:")
+    print(format_fractions(dfx_result.breakdown_fractions()))
+
+    if args.json:
+        path = write_json(result_to_dict(dfx_result), args.json)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENT_RUNNERS[args.name]
+    result = runner()
+    print(f"experiment {args.name}: {type(result).__name__}")
+    # Every driver result either has a usable repr or well-known summary fields.
+    if args.name == "figure14":
+        for model, speedup in result.speedups().items():
+            print(f"  {model}: average speedup {speedup:.2f}x")
+    elif args.name == "figure15":
+        print(format_fractions(result.fractions))
+    elif args.name == "figure16":
+        print(f"  throughput gain {result.throughput_gain:.2f}x, "
+              f"energy-efficiency gain {result.energy_efficiency_gain:.2f}x")
+    elif args.name == "figure18":
+        for count, tokens in zip(result.device_counts, result.tokens_per_second):
+            print(f"  {count} FPGA(s): {tokens:.2f} tokens/s")
+    elif args.name == "table2":
+        print(f"  cost-effectiveness gain {result.cost_effectiveness_gain:.2f}x")
+    elif args.name == "table1":
+        for row in result:
+            print(f"  {row['model']}: {row['parameters'] / 1e6:.0f}M parameters")
+    elif args.name == "accuracy":
+        for comparison in result:
+            print(f"  {comparison.dataset_name}: agreement {comparison.agreement:.3f}")
+    else:
+        print(f"  {result}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

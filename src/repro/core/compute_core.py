@@ -1,0 +1,132 @@
+"""One DFX compute core: compiler + functional units + timing scheduler.
+
+A compute core is the per-FPGA accelerator of Fig. 7.  This class wires the
+compiler (which knows the device's partition of the model) to the unit timing
+models and the scheduler, and exposes cached per-step timings that the cluster
+and appliance layers aggregate into end-to-end latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.dma import DMAModel
+from repro.core.mpu import MPUModel
+from repro.core.router import RouterModel
+from repro.core.scheduler import ProgramTiming, TimingScheduler
+from repro.core.tiling import TilingConfig
+from repro.core.vpu import VPUModel
+from repro.fpga.u280 import DEFAULT_U280, U280Spec
+from repro.isa.compiler import DFXCompiler
+from repro.isa.program import Program
+from repro.model.config import GPT2Config
+from repro.parallel.partitioner import PartitionPlan
+
+
+@dataclass(frozen=True)
+class TokenStepTiming:
+    """Timing of one full token step (embedding + all layers + LM head)."""
+
+    rows: int
+    past_length: int
+    timing: ProgramTiming
+    flops_per_device: float
+
+    def seconds(self, frequency_hz: float) -> float:
+        """Wall-clock seconds of the step."""
+        return self.timing.seconds(frequency_hz)
+
+
+class ComputeCore:
+    """Timing model of one DFX compute core executing its model partition."""
+
+    def __init__(
+        self,
+        config: GPT2Config,
+        plan: PartitionPlan,
+        device_id: int = 0,
+        spec: U280Spec = DEFAULT_U280,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        tiling: TilingConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.plan = plan
+        self.device_id = device_id
+        self.spec = spec
+        self.calibration = calibration
+        self.tiling = tiling or TilingConfig()
+        self.compiler = DFXCompiler(config, plan, device_id)
+        self.scheduler = TimingScheduler(
+            mpu=MPUModel(tiling=self.tiling, spec=spec, calibration=calibration),
+            vpu=VPUModel(spec=spec, calibration=calibration),
+            dma=DMAModel(spec=spec, calibration=calibration),
+            router=RouterModel(
+                num_devices=plan.num_devices, spec=spec, calibration=calibration
+            ),
+        )
+        # Per-(rows, past) caches; layer programs are identical across layers.
+        self._layer_cache: dict[tuple[int, int], tuple[Program, ProgramTiming]] = {}
+        self._embedding_cache: dict[int, tuple[Program, ProgramTiming]] = {}
+        self._lm_head_cache: tuple[Program, ProgramTiming] | None = None
+
+    # --------------------------------------------------------------- components
+    def layer_timing(self, rows: int, past_length: int) -> ProgramTiming:
+        """Timing of one decoder layer for the given step shape (cached)."""
+        key = (rows, past_length)
+        if key not in self._layer_cache:
+            program = self.compiler.compile_decoder_layer(rows, past_length)
+            self._layer_cache[key] = (program, self.scheduler.time_program(program))
+        return self._layer_cache[key][1]
+
+    def layer_program(self, rows: int, past_length: int) -> Program:
+        """Compiled decoder-layer program for the given step shape (cached)."""
+        self.layer_timing(rows, past_length)
+        return self._layer_cache[(rows, past_length)][0]
+
+    def embedding_timing(self, rows: int) -> ProgramTiming:
+        """Timing of the token-embedding program (cached per row count)."""
+        if rows not in self._embedding_cache:
+            program = self.compiler.compile_embedding(rows)
+            self._embedding_cache[rows] = (program, self.scheduler.time_program(program))
+        return self._embedding_cache[rows][1]
+
+    def lm_head_timing(self) -> ProgramTiming:
+        """Timing of the LM-head program (constant across steps)."""
+        if self._lm_head_cache is None:
+            program = self.compiler.compile_lm_head()
+            self._lm_head_cache = (program, self.scheduler.time_program(program))
+        return self._lm_head_cache[1]
+
+    # -------------------------------------------------------------- token steps
+    def token_step(self, rows: int, past_length: int) -> TokenStepTiming:
+        """Timing of one full token step on this device.
+
+        A step is: token embedding, ``n_layer`` identical decoder layers
+        (timed once and scaled), and the LM head.
+        """
+        embedding = self.embedding_timing(rows)
+        layer = self.layer_timing(rows, past_length)
+        lm_head = self.lm_head_timing()
+        total = embedding.merged(layer.scaled(self.config.n_layer)).merged(lm_head)
+
+        layer_flops = self.layer_program(rows, past_length).total_flops()
+        embedding_program = self._embedding_cache[rows][0]
+        lm_head_program = self._lm_head_cache[0] if self._lm_head_cache else None
+        flops = (
+            embedding_program.total_flops()
+            + layer_flops * self.config.n_layer
+            + (lm_head_program.total_flops() if lm_head_program else 0.0)
+        )
+        return TokenStepTiming(
+            rows=rows, past_length=past_length, timing=total, flops_per_device=flops
+        )
+
+    def token_step_seconds(self, rows: int, past_length: int) -> float:
+        """Seconds for one token step, including the host hand-off overhead."""
+        step = self.token_step(rows, past_length)
+        return (
+            step.seconds(self.spec.kernel_frequency_hz)
+            + self.calibration.host_overhead_per_token_s
+        )

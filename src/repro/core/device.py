@@ -1,0 +1,98 @@
+"""One FPGA device in the DFX cluster: a compute core plus its memories.
+
+Capacity checking lives here: the device's slice of the model weights must fit
+its 8 GB HBM alongside the Key/Value cache, and the infrequently accessed
+data (embedding tables, biases, tokens) must fit DDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.compute_core import ComputeCore
+from repro.core.tiling import TilingConfig
+from repro.errors import ResourceExhaustedError
+from repro.fpga.memory import kv_cache_bytes
+from repro.fpga.u280 import DEFAULT_U280, U280Spec
+from repro.model.config import GPT2Config
+from repro.parallel.partitioner import PartitionPlan
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """HBM and DDR bytes a device needs for a model partition."""
+
+    weight_bytes: int
+    kv_cache_bytes: int
+    embedding_bytes: int
+
+    @property
+    def hbm_bytes(self) -> int:
+        """Bytes resident in HBM (weights + KV cache)."""
+        return self.weight_bytes + self.kv_cache_bytes
+
+    @property
+    def ddr_bytes(self) -> int:
+        """Bytes resident in DDR (embedding tables, biases, tokens)."""
+        return self.embedding_bytes
+
+
+class FPGADevice:
+    """A single U280 carrying one DFX compute core and its model partition."""
+
+    def __init__(
+        self,
+        config: GPT2Config,
+        plan: PartitionPlan,
+        device_id: int = 0,
+        spec: U280Spec = DEFAULT_U280,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        tiling: TilingConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.plan = plan
+        self.device_id = device_id
+        self.spec = spec
+        self.core = ComputeCore(
+            config=config,
+            plan=plan,
+            device_id=device_id,
+            spec=spec,
+            calibration=calibration,
+            tiling=tiling,
+        )
+
+    def memory_footprint(self, max_tokens: int | None = None) -> MemoryFootprint:
+        """Memory footprint of this device's partition at ``max_tokens`` context."""
+        max_tokens = max_tokens or self.config.n_positions
+        partition = self.plan.device(self.device_id)
+        weights = self.plan.device_weight_bytes()
+        kv = kv_cache_bytes(
+            n_layer=self.config.n_layer,
+            n_head_local=partition.num_heads,
+            head_dim=self.config.head_dim,
+            max_tokens=max_tokens,
+        )
+        embeddings = (
+            self.config.vocab_size + self.config.n_positions
+        ) * self.config.n_embd * 2
+        return MemoryFootprint(
+            weight_bytes=weights, kv_cache_bytes=kv, embedding_bytes=embeddings
+        )
+
+    def check_capacity(self, max_tokens: int | None = None) -> MemoryFootprint:
+        """Verify the partition fits HBM/DDR; raise otherwise."""
+        footprint = self.memory_footprint(max_tokens)
+        if footprint.hbm_bytes > self.spec.hbm_capacity_bytes:
+            raise ResourceExhaustedError(
+                f"device {self.device_id}: partition needs "
+                f"{footprint.hbm_bytes / 2**30:.2f} GiB of HBM but only "
+                f"{self.spec.hbm_capacity_bytes / 2**30:.2f} GiB is available; "
+                f"use more devices"
+            )
+        if footprint.ddr_bytes > self.spec.ddr_capacity_bytes:
+            raise ResourceExhaustedError(
+                f"device {self.device_id}: DDR footprint exceeds capacity"
+            )
+        return footprint

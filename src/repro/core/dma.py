@@ -1,0 +1,71 @@
+"""DMA engine timing model (paper Sec. V-B).
+
+The DMA owns all 32 HBM pseudo-channels and the single DDR channel.  Weight
+streaming for matrix instructions is charged *inside* the matrix timing model
+(it is the bandwidth term of the max(compute, stream) per row), so the
+``LOAD_WEIGHT`` descriptor itself only costs its setup overhead here — this
+keeps the two models from double-counting the same bytes.  All other DMA
+traffic (bias and embedding rows from DDR, Key/Value appends to HBM, the
+output token write-back) is charged at the corresponding channel bandwidth.
+
+The transpose unit sits on the write path: Value tiles are transposed while
+being written to HBM, and the compiler's Value-first ordering guarantees the
+transpose finishes before ``Score x Value`` needs it, so no extra cycles are
+charged (Sec. V-B, "Transpose Scheme").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fpga.u280 import DEFAULT_U280, U280Spec
+from repro.isa.instructions import DMAInstruction
+from repro.isa.opcodes import DMAOpcode, MemorySpace
+
+
+@dataclass(frozen=True)
+class DMATiming:
+    """Timing of one DMA instruction."""
+
+    occupancy_cycles: float
+    latency_cycles: float
+
+
+@dataclass(frozen=True)
+class DMAModel:
+    """Cycle model of the DMA engine."""
+
+    spec: U280Spec = DEFAULT_U280
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+    # ------------------------------------------------------------------ helpers
+    def hbm_write_bytes_per_cycle(self) -> float:
+        """Effective bytes per cycle for HBM writes (KV-cache appends)."""
+        return (
+            self.spec.hbm_bytes_per_kernel_cycle
+            * self.calibration.hbm_write_efficiency
+        )
+
+    def ddr_bytes_per_cycle(self) -> float:
+        """Effective bytes per cycle for DDR transfers."""
+        return (
+            self.spec.ddr_peak_bandwidth
+            * self.calibration.ddr_efficiency
+            / self.spec.kernel_frequency_hz
+        )
+
+    # ------------------------------------------------------------------ timing
+    def instruction_timing(self, instruction: DMAInstruction) -> DMATiming:
+        """Cycle timing of one DMA instruction."""
+        setup = float(self.calibration.dma_setup_cycles)
+
+        if instruction.opcode is DMAOpcode.LOAD_WEIGHT:
+            # Streaming is charged in the matrix unit; only the descriptor here.
+            occupancy = setup
+        elif instruction.memory is MemorySpace.DDR:
+            occupancy = setup + instruction.size_bytes / self.ddr_bytes_per_cycle()
+        else:
+            occupancy = setup + instruction.size_bytes / self.hbm_write_bytes_per_cycle()
+
+        return DMATiming(occupancy_cycles=occupancy, latency_cycles=occupancy)

@@ -1,0 +1,400 @@
+"""Functional (bit-level-behaviour) execution of DFX programs.
+
+The timing simulator answers "how long does the program take"; this module
+answers "does the compiled program compute the right thing".  A
+:class:`FunctionalCore` interprets one device's instruction stream against
+NumPy buffers; :class:`DFXFunctionalSimulator` runs all devices of a cluster
+in lockstep, implementing the ring synchronizations by gathering the devices'
+partial vectors in core-ID order (the router's reorder unit, Fig. 11).
+
+The simulator is verified against the reference :class:`repro.model.GPT2Model`
+in the integration tests: with the same weights and numerics it must produce
+matching logits, which exercises the compiler, the partitioner, the KV-cache
+handling, and the value-first reordering end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.compiler import DFXCompiler, kv_key_buffer, kv_value_buffer
+from repro.isa.instructions import (
+    DMAInstruction,
+    Instruction,
+    MatrixInstruction,
+    RouterInstruction,
+    VectorInstruction,
+)
+from repro.isa.opcodes import DMAOpcode, MatrixOpcode, VectorOpcode
+from repro.isa.program import Program
+from repro.model.config import GPT2Config
+from repro.model.layers import MASK_VALUE
+from repro.model.numerics import FP16_DFX, Numerics
+from repro.model.weights import GPT2Weights
+from repro.parallel.partitioner import (
+    DeviceLayerWeights,
+    PartitionPlan,
+    build_partition_plan,
+    partition_model_weights,
+)
+
+#: Type of the callback the cluster provides to resolve ring synchronizations.
+SyncHandler = Callable[[RouterInstruction, np.ndarray], np.ndarray]
+
+
+@dataclass
+class FunctionalCore:
+    """Interprets one device's DFX instructions against NumPy buffers.
+
+    Attributes:
+        numerics: Precision mode (FP16 + LUT GELU for the DFX pipeline).
+        registers: The register file: buffer name -> 2-D array (rows, length).
+        memory: Off-chip memory: weights, KV cache, embedding rows.
+    """
+
+    numerics: Numerics = FP16_DFX
+    registers: dict[str, np.ndarray] = field(default_factory=dict)
+    memory: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ helpers
+    def _read_register(self, name: str) -> np.ndarray:
+        if name not in self.registers:
+            raise ExecutionError(f"register buffer {name!r} read before definition")
+        return self.registers[name]
+
+    def _read_any(self, name: str) -> np.ndarray:
+        if name in self.registers:
+            return self.registers[name]
+        if name in self.memory:
+            return self.memory[name]
+        raise ExecutionError(f"buffer {name!r} not found in registers or memory")
+
+    @staticmethod
+    def _as_2d(array: np.ndarray) -> np.ndarray:
+        return array if array.ndim == 2 else array.reshape(1, -1)
+
+    # -------------------------------------------------------------- instructions
+    def _execute_matrix(self, instruction: MatrixInstruction) -> None:
+        operand = self._as_2d(self._read_register(instruction.input_operand))
+        if instruction.input_col_count is not None:
+            start = instruction.input_col_offset
+            operand = operand[:, start : start + instruction.input_col_count]
+
+        weight = self._read_any(instruction.weight_operand)
+        if instruction.opcode is MatrixOpcode.MASKED_MM or instruction.transpose_weight:
+            weight = weight.T
+
+        result = self.numerics.matmul(operand, weight)
+        if instruction.bias_operand:
+            result = self.numerics.add(result, self._read_any(instruction.bias_operand))
+        if instruction.scale is not None:
+            result = self.numerics.cast(
+                np.asarray(result, dtype=np.float32) * instruction.scale
+            )
+        if instruction.apply_mask:
+            rows, columns = result.shape
+            query_positions = np.arange(rows)[:, None] + instruction.mask_offset
+            key_positions = np.arange(columns)[None, :]
+            allowed = key_positions <= query_positions
+            result = self.numerics.cast(
+                np.where(allowed, np.asarray(result, dtype=np.float32), MASK_VALUE)
+            )
+        if instruction.apply_gelu:
+            result = self.numerics.activation(result)
+        if instruction.apply_redu_max and instruction.redu_max_dst:
+            self.registers[instruction.redu_max_dst] = self.numerics.cast(
+                np.asarray(result, dtype=np.float32).max(axis=-1, keepdims=True)
+            )
+
+        if instruction.dst_total_cols is not None:
+            rows = result.shape[0]
+            existing = self.registers.get(instruction.dst)
+            if existing is None or existing.shape != (rows, instruction.dst_total_cols):
+                existing = np.zeros(
+                    (rows, instruction.dst_total_cols), dtype=self.numerics.dtype
+                )
+            existing = existing.copy()
+            start = instruction.dst_col_offset
+            existing[:, start : start + result.shape[1]] = result
+            self.registers[instruction.dst] = existing
+        else:
+            self.registers[instruction.dst] = result
+
+    def _execute_vector(self, instruction: VectorInstruction) -> None:
+        opcode = instruction.opcode
+        if opcode is VectorOpcode.LOAD:
+            self.registers[instruction.dst] = self.numerics.cast(
+                self._read_any(instruction.src1)
+            )
+            return
+        if opcode is VectorOpcode.STORE:
+            self.memory[instruction.dst] = self._read_register(instruction.src1).copy()
+            return
+
+        left = np.asarray(self._read_register(instruction.src1), dtype=np.float32)
+        if opcode is VectorOpcode.ACCUM:
+            result = left.sum(axis=-1, keepdims=True)
+        elif opcode is VectorOpcode.EXP:
+            result = np.exp(left)
+        elif opcode is VectorOpcode.RECIP:
+            result = 1.0 / left
+        elif opcode is VectorOpcode.RECIP_SQRT:
+            result = 1.0 / np.sqrt(left)
+        else:
+            if instruction.src2 is not None:
+                right = np.asarray(self._read_register(instruction.src2), dtype=np.float32)
+            elif instruction.immediate is not None:
+                right = np.float32(instruction.immediate)
+            else:  # pragma: no cover - guarded by instruction validation
+                raise ExecutionError(f"{opcode.value} missing second operand")
+            if opcode is VectorOpcode.ADD:
+                result = left + right
+            elif opcode is VectorOpcode.SUB:
+                result = left - right
+            elif opcode is VectorOpcode.MUL:
+                result = left * right
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unsupported vector opcode {opcode.value}")
+        self.registers[instruction.dst] = self.numerics.cast(result)
+
+    def _execute_dma(self, instruction: DMAInstruction) -> None:
+        opcode = instruction.opcode
+        if opcode is DMAOpcode.LOAD_WEIGHT:
+            # Weights are streamed straight into the matrix unit; the compiled
+            # matrix instruction reads them from memory directly.
+            if instruction.src not in self.memory and instruction.src not in self.registers:
+                raise ExecutionError(f"weight buffer {instruction.src!r} missing")
+            return
+        if opcode in (DMAOpcode.LOAD_EMBEDDING, DMAOpcode.LOAD_BIAS):
+            self.registers[instruction.dst] = self.numerics.cast(
+                self._read_any(instruction.src)
+            )
+            return
+        if opcode is DMAOpcode.STORE_KV:
+            source = self._as_2d(self._read_register(instruction.src))
+            if instruction.col_count is not None:
+                start = instruction.col_offset
+                source = source[:, start : start + instruction.col_count]
+            existing = self.memory.get(instruction.dst)
+            if existing is None or existing.size == 0:
+                self.memory[instruction.dst] = source.astype(self.numerics.dtype)
+            else:
+                self.memory[instruction.dst] = np.concatenate(
+                    [existing, source.astype(existing.dtype)], axis=0
+                )
+            return
+        if opcode is DMAOpcode.STORE_OUTPUT:
+            self.memory[instruction.dst] = self._read_register(instruction.src).copy()
+            return
+        raise ExecutionError(f"unsupported DMA opcode {opcode.value}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ execute
+    def execute(self, program: Program, sync_handler: SyncHandler | None = None) -> None:
+        """Execute ``program``; ring syncs are resolved through ``sync_handler``."""
+        for instruction in program.instructions:
+            self.execute_instruction(instruction, sync_handler)
+
+    def execute_instruction(
+        self, instruction: Instruction, sync_handler: SyncHandler | None = None
+    ) -> None:
+        """Execute a single instruction."""
+        if isinstance(instruction, MatrixInstruction):
+            self._execute_matrix(instruction)
+        elif isinstance(instruction, VectorInstruction):
+            self._execute_vector(instruction)
+        elif isinstance(instruction, DMAInstruction):
+            self._execute_dma(instruction)
+        elif isinstance(instruction, RouterInstruction):
+            if sync_handler is None:
+                raise ExecutionError(
+                    "router instruction encountered without a sync handler"
+                )
+            local = self._read_register(instruction.src)
+            self.registers[instruction.dst] = sync_handler(instruction, local)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown instruction type {type(instruction).__name__}")
+
+
+def split_at_syncs(program: Program) -> list[tuple[list[Instruction], RouterInstruction | None]]:
+    """Split a program into segments ending at each router instruction.
+
+    Returns a list of ``(segment_instructions, sync_or_None)`` pairs; the last
+    pair's sync is ``None`` when the program does not end with a sync.
+    """
+    segments: list[tuple[list[Instruction], RouterInstruction | None]] = []
+    current: list[Instruction] = []
+    for instruction in program.instructions:
+        if isinstance(instruction, RouterInstruction):
+            segments.append((current, instruction))
+            current = []
+        else:
+            current.append(instruction)
+    segments.append((current, None))
+    return segments
+
+
+class DFXFunctionalSimulator:
+    """Lockstep functional simulation of a whole DFX cluster.
+
+    Produces logits (and greedy tokens) that can be compared against the
+    reference GPT-2 model built from the same weights.
+    """
+
+    def __init__(
+        self,
+        weights: GPT2Weights,
+        num_devices: int = 2,
+        numerics: Numerics = FP16_DFX,
+    ) -> None:
+        self.config: GPT2Config = weights.config
+        self.numerics = numerics
+        self.num_devices = num_devices
+        self.plan: PartitionPlan = build_partition_plan(self.config, num_devices)
+        self.compiler = DFXCompiler(self.config, self.plan, device_id=0)
+        self.weights = weights.astype(numerics.dtype)
+
+        # Per-device, per-layer persistent memories (weights + KV cache).
+        self._layer_memory: list[list[dict[str, np.ndarray]]] = []
+        for device_id in range(num_devices):
+            device_layers = partition_model_weights(self.weights, self.plan, device_id)
+            self._layer_memory.append(
+                [self._bind_layer_memory(layer) for layer in device_layers]
+            )
+        self._lm_head_memory = [
+            self._bind_lm_head_memory(device_id) for device_id in range(num_devices)
+        ]
+        self._past_length = 0
+
+    # ------------------------------------------------------------------ binding
+    def _bind_layer_memory(self, layer: DeviceLayerWeights) -> dict[str, np.ndarray]:
+        qkv_dim = layer.w_qkv.shape[1] // 3
+        memory: dict[str, np.ndarray] = {
+            "w_query": layer.w_qkv[:, 0 * qkv_dim : 1 * qkv_dim],
+            "w_key": layer.w_qkv[:, 1 * qkv_dim : 2 * qkv_dim],
+            "w_value": layer.w_qkv[:, 2 * qkv_dim : 3 * qkv_dim],
+            "b_query": layer.b_qkv[0 * qkv_dim : 1 * qkv_dim],
+            "b_key": layer.b_qkv[1 * qkv_dim : 2 * qkv_dim],
+            "b_value": layer.b_qkv[2 * qkv_dim : 3 * qkv_dim],
+            "w_attn_proj": layer.w_attn_proj,
+            "b_attn_proj": layer.b_attn_proj,
+            "w_ffn1": layer.w_ffn1,
+            "b_ffn1": layer.b_ffn1,
+            "w_ffn2": layer.w_ffn2,
+            "b_ffn2": layer.b_ffn2,
+            "ln1_gamma": layer.ln1_gamma,
+            "ln1_beta": layer.ln1_beta,
+            "ln2_gamma": layer.ln2_gamma,
+            "ln2_beta": layer.ln2_beta,
+        }
+        return memory
+
+    def _bind_lm_head_memory(self, device_id: int) -> dict[str, np.ndarray]:
+        partition = self.plan.device(device_id)
+        base_rows = self.config.vocab_size // self.num_devices
+        start = device_id * base_rows
+        stop = start + partition.vocab_rows
+        return {
+            "wte_part": self.weights.wte[start:stop, :],
+            "ln_f_gamma": self.weights.ln_f_gamma,
+            "ln_f_beta": self.weights.ln_f_beta,
+        }
+
+    # ------------------------------------------------------------------- syncing
+    def _run_lockstep(
+        self,
+        program: Program,
+        per_device_registers: list[dict[str, np.ndarray]],
+        per_device_memory: list[dict[str, np.ndarray]],
+    ) -> list[FunctionalCore]:
+        """Run ``program`` on every device, resolving syncs by all-gather."""
+        cores = [
+            FunctionalCore(
+                numerics=self.numerics,
+                registers=per_device_registers[device_id],
+                memory=per_device_memory[device_id],
+            )
+            for device_id in range(self.num_devices)
+        ]
+        for segment, sync in split_at_syncs(program):
+            for core in cores:
+                for instruction in segment:
+                    core.execute_instruction(instruction)
+            if sync is None:
+                continue
+            slices = [core._read_register(sync.src) for core in cores]
+            gathered = self.numerics.cast(np.concatenate(slices, axis=-1))
+            for core in cores:
+                core.registers[sync.dst] = gathered
+        return cores
+
+    # ------------------------------------------------------------------- forward
+    def forward(self, token_ids: np.ndarray) -> tuple[np.ndarray, int]:
+        """Run one forward pass (summarization or one generation iteration).
+
+        Returns the full-vocabulary logits of the last position and the greedy
+        next-token id.  The KV cache persists across calls.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1 or token_ids.size == 0:
+            raise ExecutionError("token_ids must be a non-empty 1-D array")
+        rows = int(token_ids.size)
+        past = self._past_length
+        positions = np.arange(past, past + rows)
+
+        # Token embedding (identical on every device; computed via the program).
+        embedding_program = self.compiler.compile_embedding(rows)
+        embedding_memory = {
+            "wte_rows": self.weights.wte[token_ids],
+            "wpe_rows": self.weights.wpe[positions],
+        }
+        embedding_core = FunctionalCore(
+            numerics=self.numerics, registers={}, memory=dict(embedding_memory)
+        )
+        embedding_core.execute(embedding_program)
+        hidden = embedding_core.registers["hidden"]
+
+        # Decoder layers in lockstep across devices.
+        layer_program = self.compiler.compile_decoder_layer(rows, past)
+        for layer_index in range(self.config.n_layer):
+            registers = [
+                {"hidden": hidden.copy()} for _ in range(self.num_devices)
+            ]
+            memories = [
+                self._layer_memory[device_id][layer_index]
+                for device_id in range(self.num_devices)
+            ]
+            cores = self._run_lockstep(layer_program, registers, memories)
+            hidden = cores[0].registers["hidden_out"]
+
+        # LM head on the last position only.
+        lm_head_program = self.compiler.compile_lm_head()
+        registers = [
+            {"hidden_last": hidden[-1:, :].copy()} for _ in range(self.num_devices)
+        ]
+        memories = [dict(self._lm_head_memory[d]) for d in range(self.num_devices)]
+        cores = self._run_lockstep(lm_head_program, registers, memories)
+        logits = np.asarray(cores[0].registers["logits"], dtype=np.float32)[0]
+
+        self._past_length += rows
+        return logits, int(np.argmax(logits))
+
+    def generate(self, input_token_ids: list[int], max_new_tokens: int) -> list[int]:
+        """Greedy generation mirroring :class:`repro.model.TextGenerator`."""
+        if max_new_tokens <= 0:
+            raise ExecutionError("max_new_tokens must be positive")
+        outputs: list[int] = []
+        _, next_token = self.forward(np.asarray(input_token_ids))
+        outputs.append(next_token)
+        for _ in range(max_new_tokens - 1):
+            _, next_token = self.forward(np.asarray([next_token]))
+            outputs.append(next_token)
+        return outputs
+
+    @property
+    def kv_cache_length(self) -> int:
+        """Number of token positions currently cached."""
+        return self._past_length

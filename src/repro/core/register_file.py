@@ -1,0 +1,117 @@
+"""Register-file manager capacity model (paper Sec. V-D).
+
+The register file manager owns the vector and scalar register files and the
+operand collectors.  The timing impact of the register file is folded into the
+per-instruction issue overheads; this module provides the *capacity*
+accounting used by tests and the resource report: how many FP16 words a
+program keeps live at its peak, and whether that fits the on-chip budget for
+single-token (generation-stage) programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import (
+    DMAInstruction,
+    MatrixInstruction,
+    RouterInstruction,
+    VectorInstruction,
+)
+from repro.isa.program import Program
+
+#: FP16 words in the vector register file (BRAM-backed, ~88.5 BRAM36 in Fig. 13
+#: is roughly 256 KiB of storage, i.e. 128K FP16 words).
+DEFAULT_VECTOR_REGISTER_WORDS = 128 * 1024
+
+#: Entries in the scalar register file.
+DEFAULT_SCALAR_REGISTER_WORDS = 1024
+
+
+@dataclass(frozen=True)
+class RegisterUsage:
+    """Peak register-file usage of one program."""
+
+    peak_vector_words: int
+    peak_scalar_words: int
+    live_buffers_at_peak: int
+
+    def fits(
+        self,
+        vector_budget: int = DEFAULT_VECTOR_REGISTER_WORDS,
+        scalar_budget: int = DEFAULT_SCALAR_REGISTER_WORDS,
+    ) -> bool:
+        """Whether the peak usage fits the register-file budgets."""
+        return (
+            self.peak_vector_words <= vector_budget
+            and self.peak_scalar_words <= scalar_budget
+        )
+
+
+def _buffer_sizes(program: Program) -> dict[str, tuple[int, bool]]:
+    """Map each register buffer to (words, is_scalar)."""
+    sizes: dict[str, tuple[int, bool]] = {}
+    for instruction in program.instructions:
+        if isinstance(instruction, MatrixInstruction):
+            columns = instruction.dst_total_cols or instruction.out_dim
+            sizes[instruction.dst] = (instruction.rows * columns, False)
+            if instruction.redu_max_dst:
+                sizes[instruction.redu_max_dst] = (instruction.rows, True)
+        elif isinstance(instruction, VectorInstruction):
+            words = instruction.rows * instruction.length
+            sizes[instruction.dst] = (words, instruction.length == 1)
+        elif isinstance(instruction, DMAInstruction):
+            # Loads land in DMA buffers, not the register file.
+            continue
+        elif isinstance(instruction, RouterInstruction):
+            sizes[instruction.dst] = (
+                instruction.rows * instruction.payload_elements,
+                False,
+            )
+    return sizes
+
+
+def estimate_register_usage(program: Program) -> RegisterUsage:
+    """Estimate peak register-file usage with a simple live-range analysis.
+
+    A buffer is live from its first definition to its last use; at any point
+    the live set's total size bounds the register-file requirement.  This is
+    conservative (the hardware streams large intermediates through the DMA
+    buffers), but it is exactly the quantity the register-file manager has to
+    provision for single-token programs.
+    """
+    sizes = _buffer_sizes(program)
+    first_def: dict[str, int] = {}
+    last_use: dict[str, int] = {}
+    for index, instruction in enumerate(program.instructions):
+        for name in instruction.destination_operands():
+            first_def.setdefault(name, index)
+            last_use[name] = max(last_use.get(name, index), index)
+        for name in instruction.source_operands():
+            if name in first_def:
+                last_use[name] = index
+
+    peak_vector = 0
+    peak_scalar = 0
+    peak_live = 0
+    for index in range(len(program.instructions)):
+        vector_words = 0
+        scalar_words = 0
+        live = 0
+        for name, (words, is_scalar) in sizes.items():
+            if name in first_def and first_def[name] <= index <= last_use.get(name, -1):
+                live += 1
+                if is_scalar:
+                    scalar_words += words
+                else:
+                    vector_words += words
+        if vector_words > peak_vector:
+            peak_vector = vector_words
+            peak_live = live
+        peak_scalar = max(peak_scalar, scalar_words)
+
+    return RegisterUsage(
+        peak_vector_words=peak_vector,
+        peak_scalar_words=peak_scalar,
+        live_buffers_at_peak=peak_live,
+    )

@@ -1,0 +1,61 @@
+"""Ring-router timing model (paper Sec. V-E, Fig. 11).
+
+Each DFX core owns a lightweight router with a left and right interface on the
+QSFP/Aurora ring.  A synchronization is an all-gather: every device transmits
+its slice of the output vector around the ring; after ``num_devices - 1``
+steps every device holds the complete, identically ordered vector (the reorder
+unit uses the core ID to restore order without extra hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.fpga.aurora import AuroraLinkModel
+from repro.fpga.u280 import DEFAULT_U280, U280Spec
+from repro.isa.instructions import RouterInstruction
+
+#: Bytes per FP16 element.
+FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class RouterTiming:
+    """Timing of one synchronization."""
+
+    occupancy_cycles: float
+    latency_cycles: float
+
+
+@dataclass(frozen=True)
+class RouterModel:
+    """Cycle model of a ring all-gather across ``num_devices`` cores."""
+
+    num_devices: int = 4
+    spec: U280Spec = DEFAULT_U280
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+    def _link(self) -> AuroraLinkModel:
+        return AuroraLinkModel(
+            spec=self.spec, per_hop_latency_s=self.calibration.aurora_hop_latency_s
+        )
+
+    def sync_seconds(self, payload_bytes: int) -> float:
+        """Seconds for one all-gather of a ``payload_bytes`` vector."""
+        if self.num_devices <= 1:
+            return 0.0
+        link = self._link()
+        setup_seconds = (
+            self.calibration.router_setup_cycles / self.spec.kernel_frequency_hz
+        )
+        return setup_seconds + link.ring_all_gather_seconds(
+            payload_bytes, self.num_devices
+        )
+
+    def instruction_timing(self, instruction: RouterInstruction) -> RouterTiming:
+        """Cycle timing of one router (sync) instruction."""
+        payload_bytes = instruction.payload_elements * instruction.rows * FP16_BYTES
+        seconds = self.sync_seconds(payload_bytes)
+        cycles = seconds * self.spec.kernel_frequency_hz
+        return RouterTiming(occupancy_cycles=cycles, latency_cycles=cycles)

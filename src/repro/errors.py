@@ -1,0 +1,35 @@
+"""Exception hierarchy for the DFX reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A model or hardware configuration is invalid or inconsistent."""
+
+
+class PartitioningError(ReproError):
+    """A model cannot be partitioned across the requested number of devices."""
+
+
+class CompilationError(ReproError):
+    """The ISA compiler could not lower the model into a valid program."""
+
+
+class ProgramValidationError(ReproError):
+    """A compiled program violates ISA constraints (operands, dependencies)."""
+
+
+class ExecutionError(ReproError):
+    """The functional interpreter hit an invalid runtime state."""
+
+
+class ResourceExhaustedError(ReproError):
+    """A design point does not fit the FPGA's resource or routing budget."""
+
+
+class CalibrationError(ReproError):
+    """Calibration constants are out of their documented valid range."""

@@ -1,0 +1,88 @@
+"""Opcode definitions for the DFX instruction set (paper Sec. IV-C).
+
+The ISA has three instruction classes: ``compute`` (split into matrix and
+vector instructions), ``dma`` and ``router``.  Matrix instructions run on the
+matrix processing unit; vector instructions on the vector processing unit;
+dma instructions move data between HBM/DDR and the core; router instructions
+synchronize partial results across the ring network.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class InstructionClass(Enum):
+    """Top-level instruction class."""
+
+    COMPUTE_MATRIX = "compute.matrix"
+    COMPUTE_VECTOR = "compute.vector"
+    DMA = "dma"
+    ROUTER = "router"
+
+
+@unique
+class MatrixOpcode(Enum):
+    """Matrix instructions executed by the matrix function unit."""
+
+    #: ``A x + b`` — QKV generation, attention projection, FFN layers.
+    CONV1D = "conv1d"
+    #: ``Q K^T`` with a causal mask and per-row reduce-max (Score matrix).
+    MASKED_MM = "masked_mm"
+    #: Plain matrix multiply — ``Score x Value`` and the LM head logits.
+    MM = "mm"
+
+
+@unique
+class VectorOpcode(Enum):
+    """Vector instructions executed by the vector function unit."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    #: Row-wise accumulation (sum) into a scalar register.
+    ACCUM = "accum"
+    #: Scalar reciprocal.
+    RECIP = "recip"
+    #: Scalar reciprocal square root.
+    RECIP_SQRT = "recip_sqrt"
+    #: Elementwise exponential.
+    EXP = "exp"
+    #: Load parameters from off-chip memory into the register file.
+    LOAD = "load"
+    #: Store a register to off-chip memory.
+    STORE = "store"
+
+
+@unique
+class DMAOpcode(Enum):
+    """DMA instructions moving data between the core and HBM/DDR."""
+
+    #: Stream a tiled weight matrix from HBM into the weight buffer.
+    LOAD_WEIGHT = "load_weight"
+    #: Load a bias vector from DDR into the bias buffer.
+    LOAD_BIAS = "load_bias"
+    #: Load WTE/WPE rows for the current tokens from DDR.
+    LOAD_EMBEDDING = "load_embedding"
+    #: Append newly produced Key/Value rows to the HBM-resident cache.
+    STORE_KV = "store_kv"
+    #: Write the generated output token back to DDR.
+    STORE_OUTPUT = "store_output"
+
+
+@unique
+class RouterOpcode(Enum):
+    """Router instructions for inter-device communication."""
+
+    #: Ring all-gather: every device contributes its slice and receives the
+    #: reordered full vector (paper Fig. 11).
+    SYNC = "sync"
+
+
+#: Memory spaces an operand can live in.
+@unique
+class MemorySpace(Enum):
+    HBM = "hbm"
+    DDR = "ddr"
+    REGISTER = "register"

@@ -1,0 +1,123 @@
+"""Program container: an ordered list of DFX instructions plus metadata."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.isa.instructions import (
+    DMAInstruction,
+    Instruction,
+    MatrixInstruction,
+    RouterInstruction,
+    VectorInstruction,
+)
+from repro.isa.opcodes import InstructionClass
+
+
+@dataclass
+class Program:
+    """An ordered sequence of instructions for one device.
+
+    Attributes:
+        name: Human-readable label, e.g. ``"decoder-layer[rows=1,past=64]"``.
+        instructions: The instruction list, in program order.
+        rows: Token rows processed by this program (1 in the generation stage).
+        past_length: KV-cache length before this program runs.
+        inputs: Buffer names expected to be live before execution.
+        outputs: Buffer names holding the program's results.
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    rows: int = 1
+    past_length: int = 0
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    # ----------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def append(self, instruction: Instruction) -> None:
+        """Append one instruction."""
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append several instructions."""
+        self.instructions.extend(instructions)
+
+    # ------------------------------------------------------------------ views
+    def matrix_instructions(self) -> list[MatrixInstruction]:
+        """All matrix-unit instructions, in order."""
+        return [i for i in self.instructions if isinstance(i, MatrixInstruction)]
+
+    def vector_instructions(self) -> list[VectorInstruction]:
+        """All vector-unit instructions, in order."""
+        return [i for i in self.instructions if isinstance(i, VectorInstruction)]
+
+    def dma_instructions(self) -> list[DMAInstruction]:
+        """All DMA instructions, in order."""
+        return [i for i in self.instructions if isinstance(i, DMAInstruction)]
+
+    def router_instructions(self) -> list[RouterInstruction]:
+        """All router (synchronization) instructions, in order."""
+        return [i for i in self.instructions if isinstance(i, RouterInstruction)]
+
+    def by_tag(self, tag: str) -> list[Instruction]:
+        """All instructions labeled with ``tag``."""
+        return [i for i in self.instructions if i.tag == tag]
+
+    # ------------------------------------------------------------------ stats
+    def instruction_class_counts(self) -> dict[InstructionClass, int]:
+        """Instruction count per class."""
+        return dict(Counter(i.instruction_class for i in self.instructions))
+
+    def tag_counts(self) -> dict[str, int]:
+        """Instruction count per phase tag."""
+        return dict(Counter(i.tag for i in self.instructions))
+
+    def total_flops(self) -> float:
+        """Total floating-point operations performed by the program."""
+        return float(sum(i.flops() for i in self.instructions))
+
+    def total_weight_bytes(self) -> int:
+        """Bytes of matrix weights streamed from memory by the program."""
+        return sum(i.weight_bytes() for i in self.matrix_instructions())
+
+    def sync_count(self) -> int:
+        """Number of ring synchronizations in the program."""
+        return len(self.router_instructions())
+
+    def defined_buffers(self) -> set[str]:
+        """Every buffer name written by some instruction."""
+        names: set[str] = set()
+        for instruction in self.instructions:
+            names.update(instruction.destination_operands())
+        return names
+
+    def summary(self) -> str:
+        """One-line summary used in logs and example output."""
+        counts = self.instruction_class_counts()
+        parts = ", ".join(
+            f"{klass.value}={count}" for klass, count in sorted(counts.items(), key=lambda kv: kv[0].value)
+        )
+        return (
+            f"{self.name}: {len(self.instructions)} instructions "
+            f"({parts}), {self.total_flops() / 1e6:.2f} MFLOP"
+        )
+
+    def concatenate(self, other: "Program", name: str | None = None) -> "Program":
+        """Return a new program running ``self`` then ``other``."""
+        return Program(
+            name=name or f"{self.name}+{other.name}",
+            instructions=list(self.instructions) + list(other.instructions),
+            rows=self.rows,
+            past_length=self.past_length,
+            inputs=self.inputs,
+            outputs=other.outputs,
+        )

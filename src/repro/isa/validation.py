@@ -1,0 +1,153 @@
+"""Static validation of compiled DFX programs.
+
+The scoreboard in the real hardware catches data hazards at runtime; here we
+verify statically that a compiled program is well formed: every buffer is
+defined before it is read (given the program's declared live-in set), matrix
+operand windows are consistent, and the per-layer synchronization count
+matches the partition plan's expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramValidationError
+from repro.isa.instructions import (
+    DMAInstruction,
+    MatrixInstruction,
+    RouterInstruction,
+    VectorInstruction,
+)
+from repro.isa.opcodes import DMAOpcode, MemorySpace, VectorOpcode
+from repro.isa.program import Program
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one program."""
+
+    program_name: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when no errors were found."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`ProgramValidationError` when errors are present."""
+        if self.errors:
+            raise ProgramValidationError(
+                f"program {self.program_name!r} failed validation: "
+                + "; ".join(self.errors)
+            )
+
+
+def validate_program(
+    program: Program,
+    live_in: set[str] | None = None,
+    memory_buffers: set[str] | None = None,
+) -> ValidationReport:
+    """Validate def-before-use and structural consistency of ``program``.
+
+    Args:
+        program: The program to validate.
+        live_in: Register-file buffers assumed live before execution
+            (defaults to ``program.inputs``).
+        memory_buffers: Off-chip buffer names (weights, KV cache, embeddings)
+            assumed to exist.  When ``None``, memory operands are not checked.
+    """
+    report = ValidationReport(program_name=program.name)
+    live: set[str] = set(live_in if live_in is not None else program.inputs)
+    check_memory = memory_buffers is not None
+    memory: set[str] = set(memory_buffers or ())
+
+    for index, instruction in enumerate(program.instructions):
+        where = f"#{index} ({type(instruction).__name__})"
+
+        if isinstance(instruction, MatrixInstruction):
+            if instruction.input_operand not in live:
+                report.errors.append(
+                    f"{where}: input {instruction.input_operand!r} used before definition"
+                )
+            if check_memory and instruction.weight_operand not in memory and (
+                instruction.weight_operand not in live
+            ):
+                report.errors.append(
+                    f"{where}: weight {instruction.weight_operand!r} not present in memory"
+                )
+            if instruction.bias_operand and check_memory and (
+                instruction.bias_operand not in memory
+                and instruction.bias_operand not in live
+            ):
+                report.errors.append(
+                    f"{where}: bias {instruction.bias_operand!r} not present in memory"
+                )
+            if (
+                instruction.input_col_count is not None
+                and instruction.input_col_count != instruction.in_dim
+            ):
+                report.errors.append(
+                    f"{where}: input column window ({instruction.input_col_count}) "
+                    f"does not match in_dim ({instruction.in_dim})"
+                )
+            live.update(instruction.destination_operands())
+
+        elif isinstance(instruction, VectorInstruction):
+            if instruction.opcode is VectorOpcode.LOAD:
+                if check_memory and instruction.src1 not in memory:
+                    report.errors.append(
+                        f"{where}: load source {instruction.src1!r} not in memory"
+                    )
+            else:
+                for operand in instruction.source_operands():
+                    if operand not in live:
+                        report.errors.append(
+                            f"{where}: operand {operand!r} used before definition"
+                        )
+            live.update(instruction.destination_operands())
+
+        elif isinstance(instruction, DMAInstruction):
+            if instruction.opcode in (DMAOpcode.STORE_KV, DMAOpcode.STORE_OUTPUT):
+                if instruction.src not in live:
+                    report.errors.append(
+                        f"{where}: DMA store source {instruction.src!r} not live"
+                    )
+                memory.add(instruction.dst)
+            else:
+                if check_memory and instruction.src not in memory:
+                    report.errors.append(
+                        f"{where}: DMA load source {instruction.src!r} not in memory"
+                    )
+                live.add(instruction.dst)
+            if instruction.memory is MemorySpace.REGISTER:
+                report.errors.append(f"{where}: DMA cannot target the register file")
+
+        elif isinstance(instruction, RouterInstruction):
+            if instruction.src not in live:
+                report.errors.append(
+                    f"{where}: sync source {instruction.src!r} not live"
+                )
+            live.update(instruction.destination_operands())
+
+        else:  # pragma: no cover - defensive
+            report.warnings.append(f"{where}: unknown instruction type")
+
+    for output in program.outputs:
+        if output not in live:
+            report.errors.append(f"declared output {output!r} is never produced")
+
+    return report
+
+
+def validate_layer_program(program: Program, expected_syncs: int) -> ValidationReport:
+    """Validate a decoder-layer program and its synchronization count."""
+    report = validate_program(program)
+    actual_syncs = program.sync_count()
+    if actual_syncs != expected_syncs:
+        report.errors.append(
+            f"expected {expected_syncs} ring synchronizations per layer, "
+            f"found {actual_syncs}"
+        )
+    return report

@@ -1,0 +1,110 @@
+"""Cloze-task evaluation and cross-platform accuracy comparison.
+
+Reproduces the structure of paper Sec. VII-A: the same model weights are run
+through the GPU numeric pipeline (FP16, tanh-GELU) and the DFX pipeline
+(FP16, LUT-GELU), and their cloze accuracies are compared.  With synthetic
+weights, absolute accuracy is noise; the meaningful quantities are
+
+* **agreement**: the fraction of examples where both pipelines choose the same
+  candidate (the paper's "no accuracy loss" claim corresponds to ~100%), and
+* **accuracy delta**: the signed difference in accuracy against the dataset
+  labels, which the paper reports as 0%, -0.3%, +0.15%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.datasets import ClozeDataset, ClozeExample
+from repro.model.gpt2 import GPT2Model
+
+
+@dataclass(frozen=True)
+class ClozeEvaluation:
+    """Evaluation of one model on one cloze dataset."""
+
+    dataset_name: str
+    model_name: str
+    numerics_name: str
+    num_examples: int
+    num_correct: int
+    predictions: tuple[int, ...]
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of examples where the model picked the labeled answer."""
+        if self.num_examples == 0:
+            return 0.0
+        return self.num_correct / self.num_examples
+
+
+@dataclass(frozen=True)
+class AccuracyComparison:
+    """GPU-pipeline vs DFX-pipeline comparison on one dataset (paper Sec. VII-A)."""
+
+    dataset_name: str
+    gpu: ClozeEvaluation
+    dfx: ClozeEvaluation
+
+    @property
+    def accuracy_delta(self) -> float:
+        """DFX accuracy minus GPU accuracy (positive = DFX better)."""
+        return self.dfx.accuracy - self.gpu.accuracy
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of examples where both pipelines chose the same candidate."""
+        if not self.gpu.predictions:
+            return 1.0
+        matches = sum(
+            1
+            for gpu_choice, dfx_choice in zip(self.gpu.predictions, self.dfx.predictions)
+            if gpu_choice == dfx_choice
+        )
+        return matches / len(self.gpu.predictions)
+
+
+def score_candidates(model: GPT2Model, example: ClozeExample) -> np.ndarray:
+    """Score each candidate by its LM-head logit after the context.
+
+    This is the standard cloze scoring used for WSC/CBT with GPT-2: run the
+    context, take the next-token logits, and compare the candidates' logits.
+    """
+    forward = model.forward(np.asarray(example.context_token_ids))
+    last_logits = forward.logits[-1]
+    return np.asarray(
+        [float(last_logits[token]) for token in example.candidate_token_ids]
+    )
+
+
+def evaluate_cloze(model: GPT2Model, dataset: ClozeDataset) -> ClozeEvaluation:
+    """Evaluate ``model`` on ``dataset`` with greedy candidate selection."""
+    predictions: list[int] = []
+    num_correct = 0
+    for example in dataset:
+        scores = score_candidates(model, example)
+        choice = int(np.argmax(scores))
+        predictions.append(choice)
+        if choice == example.answer_index:
+            num_correct += 1
+    return ClozeEvaluation(
+        dataset_name=dataset.name,
+        model_name=model.config.name,
+        numerics_name=model.numerics.name,
+        num_examples=len(dataset),
+        num_correct=num_correct,
+        predictions=tuple(predictions),
+    )
+
+
+def compare_pipelines(
+    gpu_model: GPT2Model, dfx_model: GPT2Model, dataset: ClozeDataset
+) -> AccuracyComparison:
+    """Evaluate both numeric pipelines on ``dataset`` and compare them."""
+    return AccuracyComparison(
+        dataset_name=dataset.name,
+        gpu=evaluate_cloze(gpu_model, dataset),
+        dfx=evaluate_cloze(dfx_model, dataset),
+    )

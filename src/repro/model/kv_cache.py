@@ -1,0 +1,88 @@
+"""Key/Value cache for incremental GPT-2 decoding.
+
+During the summarization stage the cache is filled with one row per input
+token; during the generation stage every iteration appends a single row per
+layer (paper Sec. II-A).  The cache is the reason the generation stage is
+memory-bound: each new token must read all previous Keys and Values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.model.config import GPT2Config
+
+
+@dataclass
+class LayerKVCache:
+    """Cached Key and Value tensors for a single decoder layer.
+
+    Both tensors have shape ``(n_head, seq_len, head_dim)``.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+
+    @property
+    def seq_len(self) -> int:
+        """Number of cached token positions."""
+        return int(self.keys.shape[1])
+
+    def append(self, new_keys: np.ndarray, new_values: np.ndarray) -> None:
+        """Append one or more new token positions to the cache."""
+        if new_keys.shape != new_values.shape:
+            raise ExecutionError(
+                f"key/value shape mismatch: {new_keys.shape} vs {new_values.shape}"
+            )
+        if new_keys.shape[0] != self.keys.shape[0] or new_keys.shape[2] != self.keys.shape[2]:
+            raise ExecutionError(
+                "appended keys must match cache head count and head dimension"
+            )
+        self.keys = np.concatenate([self.keys, new_keys], axis=1)
+        self.values = np.concatenate([self.values, new_values], axis=1)
+
+
+@dataclass
+class KVCache:
+    """Per-layer Key/Value caches for a whole model."""
+
+    config: GPT2Config
+    layers: list[LayerKVCache] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, config: GPT2Config, dtype: np.dtype = np.float32) -> "KVCache":
+        """Create an empty cache (zero cached positions) for ``config``."""
+        layers = [
+            LayerKVCache(
+                keys=np.zeros((config.n_head, 0, config.head_dim), dtype=dtype),
+                values=np.zeros((config.n_head, 0, config.head_dim), dtype=dtype),
+            )
+            for _ in range(config.n_layer)
+        ]
+        return cls(config=config, layers=layers)
+
+    @property
+    def seq_len(self) -> int:
+        """Number of cached positions (identical across layers)."""
+        if not self.layers:
+            return 0
+        return self.layers[0].seq_len
+
+    def layer(self, index: int) -> LayerKVCache:
+        """Return the cache for decoder layer ``index``."""
+        if not 0 <= index < len(self.layers):
+            raise ExecutionError(
+                f"layer index {index} out of range for {len(self.layers)} layers"
+            )
+        return self.layers[index]
+
+    def memory_bytes(self, bytes_per_element: int = 2) -> int:
+        """Total bytes held by the cache at the given element size."""
+        total_elements = sum(
+            int(np.prod(layer.keys.shape)) + int(np.prod(layer.values.shape))
+            for layer in self.layers
+        )
+        return total_elements * bytes_per_element

@@ -1,0 +1,150 @@
+"""Synthetic GPT-2 weights.
+
+The paper runs the released 345M/774M/1.5B checkpoints.  Those checkpoints are
+not available offline, so we generate **seeded synthetic weights** with the
+correct shapes and GPT-2's published initialization scales (normal with
+std 0.02, residual projections scaled by 1/sqrt(2*n_layer)).  This preserves
+everything the reproduction needs from the weights: tensor shapes, memory
+footprint, dataflow, and FP16 numeric behaviour.  See DESIGN.md for the full
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.model.config import GPT2Config
+
+#: Standard deviation used by GPT-2's weight initialization.
+INIT_STD = 0.02
+
+
+@dataclass
+class DecoderLayerWeights:
+    """Weights of one decoder layer.
+
+    Shapes follow the huggingface/OpenAI convention: projection matrices are
+    stored as ``(in_features, out_features)`` so the forward pass is ``x @ W``.
+    """
+
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    w_qkv: np.ndarray          # (n_embd, 3 * n_embd)
+    b_qkv: np.ndarray          # (3 * n_embd,)
+    w_attn_proj: np.ndarray    # (n_embd, n_embd)
+    b_attn_proj: np.ndarray    # (n_embd,)
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    w_ffn1: np.ndarray         # (n_embd, ffn_dim)
+    b_ffn1: np.ndarray         # (ffn_dim,)
+    w_ffn2: np.ndarray         # (ffn_dim, n_embd)
+    b_ffn2: np.ndarray         # (n_embd,)
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters in this layer."""
+        return sum(int(np.prod(a.shape)) for a in self._tensors())
+
+    def _tensors(self) -> Iterator[np.ndarray]:
+        yield self.ln1_gamma
+        yield self.ln1_beta
+        yield self.w_qkv
+        yield self.b_qkv
+        yield self.w_attn_proj
+        yield self.b_attn_proj
+        yield self.ln2_gamma
+        yield self.ln2_beta
+        yield self.w_ffn1
+        yield self.b_ffn1
+        yield self.w_ffn2
+        yield self.b_ffn2
+
+    def astype(self, dtype: np.dtype) -> "DecoderLayerWeights":
+        """Return a copy of the layer weights cast to ``dtype``."""
+        return DecoderLayerWeights(
+            **{
+                name: getattr(self, name).astype(dtype)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+
+@dataclass
+class GPT2Weights:
+    """All weights of a GPT-2 model: embeddings, decoder layers, final norm."""
+
+    config: GPT2Config
+    wte: np.ndarray            # (vocab_size, n_embd)
+    wpe: np.ndarray            # (n_positions, n_embd)
+    layers: list[DecoderLayerWeights] = field(default_factory=list)
+    ln_f_gamma: np.ndarray | None = None
+    ln_f_beta: np.ndarray | None = None
+
+    def parameter_count(self) -> int:
+        """Total scalar parameter count; matches ``config.total_parameter_count``."""
+        count = int(np.prod(self.wte.shape)) + int(np.prod(self.wpe.shape))
+        count += sum(layer.parameter_count() for layer in self.layers)
+        if self.ln_f_gamma is not None:
+            count += int(np.prod(self.ln_f_gamma.shape))
+        if self.ln_f_beta is not None:
+            count += int(np.prod(self.ln_f_beta.shape))
+        return count
+
+    def astype(self, dtype: np.dtype) -> "GPT2Weights":
+        """Return a copy of all weights cast to ``dtype`` (e.g. FP16)."""
+        return GPT2Weights(
+            config=self.config,
+            wte=self.wte.astype(dtype),
+            wpe=self.wpe.astype(dtype),
+            layers=[layer.astype(dtype) for layer in self.layers],
+            ln_f_gamma=None if self.ln_f_gamma is None else self.ln_f_gamma.astype(dtype),
+            ln_f_beta=None if self.ln_f_beta is None else self.ln_f_beta.astype(dtype),
+        )
+
+
+def _normal(rng: np.random.Generator, shape: tuple[int, ...], std: float) -> np.ndarray:
+    return rng.normal(loc=0.0, scale=std, size=shape).astype(np.float32)
+
+
+def generate_layer_weights(
+    config: GPT2Config, rng: np.random.Generator
+) -> DecoderLayerWeights:
+    """Generate one decoder layer's weights with GPT-2 initialization scales."""
+    emb = config.n_embd
+    ffn = config.ffn_dim
+    residual_std = INIT_STD / np.sqrt(2.0 * config.n_layer)
+    return DecoderLayerWeights(
+        ln1_gamma=np.ones(emb, dtype=np.float32),
+        ln1_beta=np.zeros(emb, dtype=np.float32),
+        w_qkv=_normal(rng, (emb, 3 * emb), INIT_STD),
+        b_qkv=np.zeros(3 * emb, dtype=np.float32),
+        w_attn_proj=_normal(rng, (emb, emb), residual_std),
+        b_attn_proj=np.zeros(emb, dtype=np.float32),
+        ln2_gamma=np.ones(emb, dtype=np.float32),
+        ln2_beta=np.zeros(emb, dtype=np.float32),
+        w_ffn1=_normal(rng, (emb, ffn), INIT_STD),
+        b_ffn1=np.zeros(ffn, dtype=np.float32),
+        w_ffn2=_normal(rng, (ffn, emb), residual_std),
+        b_ffn2=np.zeros(emb, dtype=np.float32),
+    )
+
+
+def generate_weights(config: GPT2Config, seed: int = 0) -> GPT2Weights:
+    """Generate a full set of synthetic weights for ``config``.
+
+    The same ``(config, seed)`` pair always produces identical weights, which
+    lets the accuracy experiments compare the DFX numeric pipeline and the GPU
+    reference pipeline on the same model instance.
+    """
+    rng = np.random.default_rng(seed)
+    weights = GPT2Weights(
+        config=config,
+        wte=_normal(rng, (config.vocab_size, config.n_embd), INIT_STD),
+        wpe=_normal(rng, (config.n_positions, config.n_embd), 0.01),
+        layers=[generate_layer_weights(config, rng) for _ in range(config.n_layer)],
+        ln_f_gamma=np.ones(config.n_embd, dtype=np.float32),
+        ln_f_beta=np.zeros(config.n_embd, dtype=np.float32),
+    )
+    return weights

@@ -1,0 +1,134 @@
+"""DFX runtime: functional text generation with simulated appliance timing.
+
+On the real appliance a single call does both things at once: the FPGAs
+produce the output tokens *and* the wall clock tells you how long it took.
+This module recreates that experience in software by pairing the functional
+cluster simulator (which produces the actual tokens, bit-faithfully in FP16 +
+LUT-GELU) with the timing simulator (which estimates what the hardware would
+have taken), so examples and services can call one API and get both text and
+latency.
+
+The runtime is intentionally small: it owns a functional simulator, a timing
+appliance, and a tokenizer, and exposes ``generate`` / ``generate_text``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.appliance import DFXAppliance
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.functional import DFXFunctionalSimulator
+from repro.errors import ConfigurationError, ExecutionError
+from repro.model.config import GPT2Config
+from repro.model.numerics import FP16_DFX, Numerics
+from repro.model.tokenizer import SyntheticTokenizer
+from repro.model.weights import GPT2Weights, generate_weights
+from repro.results import InferenceResult
+from repro.workloads import Workload
+
+
+@dataclass
+class RuntimeGeneration:
+    """Result of one runtime generation call: the tokens and the simulated cost."""
+
+    input_token_ids: list[int]
+    output_token_ids: list[int]
+    timing: InferenceResult
+    text: str | None = None
+
+    @property
+    def workload(self) -> Workload:
+        """The request shape that was executed."""
+        return self.timing.workload
+
+    @property
+    def simulated_latency_ms(self) -> float:
+        """Simulated end-to-end appliance latency."""
+        return self.timing.latency_ms
+
+    @property
+    def simulated_tokens_per_second(self) -> float:
+        """Simulated generation throughput."""
+        return self.timing.tokens_per_second
+
+
+class DFXRuntime:
+    """Text generation on a simulated DFX cluster, with timing attached.
+
+    Args:
+        config: Model configuration.  Functional execution is quadratic-ish in
+            model size, so use the paper models only for timing and the
+            ``GPT2_TEST_*`` configurations when you actually want tokens.
+        num_devices: FPGAs in the cluster.
+        weights: Optional pre-built weights (synthetic weights are generated
+            from ``seed`` when omitted).
+        numerics: Numeric mode of the functional path (DFX FP16 by default).
+        calibration: Timing-model calibration.
+        seed: Seed for synthetic weights.
+    """
+
+    def __init__(
+        self,
+        config: GPT2Config,
+        num_devices: int = 4,
+        weights: GPT2Weights | None = None,
+        numerics: Numerics = FP16_DFX,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        seed: int = 0,
+    ) -> None:
+        if weights is not None and weights.config != config:
+            raise ConfigurationError("weights were generated for a different config")
+        self.config = config
+        self.num_devices = num_devices
+        self.weights = weights or generate_weights(config, seed=seed)
+        self.numerics = numerics
+        self.tokenizer = SyntheticTokenizer(vocab_size=config.vocab_size)
+        self.appliance = DFXAppliance(
+            config,
+            num_devices=num_devices,
+            calibration=calibration,
+            check_capacity=False,
+        )
+        self._simulator: DFXFunctionalSimulator | None = None
+
+    # ---------------------------------------------------------------- internals
+    def _fresh_simulator(self) -> DFXFunctionalSimulator:
+        """Build a fresh functional simulator (empty KV cache) for one request."""
+        return DFXFunctionalSimulator(
+            self.weights, num_devices=self.num_devices, numerics=self.numerics
+        )
+
+    # ------------------------------------------------------------------ public
+    def generate(
+        self, input_token_ids: list[int], max_new_tokens: int
+    ) -> RuntimeGeneration:
+        """Generate tokens functionally and attach the simulated timing."""
+        if not input_token_ids:
+            raise ExecutionError("input_token_ids must not be empty")
+        if max_new_tokens <= 0:
+            raise ExecutionError("max_new_tokens must be positive")
+        workload = Workload(
+            input_tokens=len(input_token_ids), output_tokens=max_new_tokens
+        )
+        simulator = self._fresh_simulator()
+        output_tokens = simulator.generate(list(input_token_ids), max_new_tokens)
+        timing = self.appliance.run(workload)
+        return RuntimeGeneration(
+            input_token_ids=list(input_token_ids),
+            output_token_ids=output_tokens,
+            timing=timing,
+        )
+
+    def generate_text(self, prompt: str, max_new_tokens: int) -> RuntimeGeneration:
+        """Tokenize ``prompt``, generate, detokenize, and attach timing."""
+        input_ids = self.tokenizer.encode(prompt)
+        generation = self.generate(input_ids, max_new_tokens)
+        generation.text = self.tokenizer.decode(generation.output_token_ids)
+        return generation
+
+    def estimate_only(self, workload: Workload) -> InferenceResult:
+        """Timing estimate without functional execution (any model size)."""
+        return self.appliance.run(workload)

@@ -1,0 +1,34 @@
+"""Datacenter serving layer: request traces, workload mixes, and an
+event-driven multi-cluster appliance serving simulator."""
+
+from repro.serving.requests import (
+    ARTICLE_MIX,
+    CHATBOT_MIX,
+    DATACENTER_MIX,
+    ServiceRequest,
+    WorkloadMix,
+    constant_trace,
+    poisson_trace,
+)
+from repro.serving.server import (
+    ApplianceServer,
+    CompletedRequest,
+    LatencyOracle,
+    ServingReport,
+    saturation_sweep,
+)
+
+__all__ = [
+    "ARTICLE_MIX",
+    "CHATBOT_MIX",
+    "DATACENTER_MIX",
+    "ServiceRequest",
+    "WorkloadMix",
+    "constant_trace",
+    "poisson_trace",
+    "ApplianceServer",
+    "CompletedRequest",
+    "LatencyOracle",
+    "ServingReport",
+    "saturation_sweep",
+]

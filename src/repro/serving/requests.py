@@ -1,0 +1,153 @@
+"""Service request traces for datacenter-level serving studies.
+
+The paper motivates DFX with datacenter text-generation services (chatbots,
+article writing) and builds the appliance so one host can carry two
+independent FPGA clusters.  This module generates synthetic request traces —
+Poisson arrivals over a mix of workload shapes — that the serving simulator
+(`repro.serving.server`) replays against an appliance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads import ARTICLE_WRITING_WORKLOAD, CHATBOT_WORKLOAD, Workload
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One inference request: when it arrives and what shape it has."""
+
+    request_id: int
+    arrival_time_s: float
+    workload: Workload
+
+    def __post_init__(self) -> None:
+        if self.arrival_time_s < 0:
+            raise ConfigurationError("arrival_time_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named distribution over workload shapes.
+
+    Attributes:
+        name: Mix label used in reports.
+        workloads: Candidate request shapes.
+        weights: Sampling probability of each shape (normalized internally).
+    """
+
+    name: str
+    workloads: tuple[Workload, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.workloads) != len(self.weights):
+            raise ConfigurationError("workloads and weights must have equal length")
+        if not self.workloads:
+            raise ConfigurationError("a workload mix needs at least one workload")
+        if any(weight < 0 for weight in self.weights) or sum(self.weights) <= 0:
+            raise ConfigurationError("weights must be non-negative and sum to > 0")
+
+    def probabilities(self) -> np.ndarray:
+        """Normalized sampling probabilities."""
+        weights = np.asarray(self.weights, dtype=np.float64)
+        return weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator) -> Workload:
+        """Draw one workload shape."""
+        index = int(rng.choice(len(self.workloads), p=self.probabilities()))
+        return self.workloads[index]
+
+    def mean_output_tokens(self) -> float:
+        """Expected output tokens per request (for offered-load estimates)."""
+        probabilities = self.probabilities()
+        return float(
+            sum(p * w.output_tokens for p, w in zip(probabilities, self.workloads))
+        )
+
+
+#: A chatbot-dominated service: mostly 50:50 requests with some short replies.
+CHATBOT_MIX = WorkloadMix(
+    name="chatbot",
+    workloads=(CHATBOT_WORKLOAD, Workload(32, 16), Workload(64, 64)),
+    weights=(0.6, 0.2, 0.2),
+)
+
+#: An article-writing service: long generations dominate.
+ARTICLE_MIX = WorkloadMix(
+    name="article-writing",
+    workloads=(ARTICLE_WRITING_WORKLOAD, Workload(50, 100), Workload(25, 150)),
+    weights=(0.5, 0.3, 0.2),
+)
+
+#: A blended datacenter mix of chat, article, and question-answering traffic.
+DATACENTER_MIX = WorkloadMix(
+    name="datacenter",
+    workloads=(
+        CHATBOT_WORKLOAD,
+        ARTICLE_WRITING_WORKLOAD,
+        Workload(128, 16),
+        Workload(256, 8),
+    ),
+    weights=(0.45, 0.30, 0.15, 0.10),
+)
+
+
+def poisson_trace(
+    arrival_rate_per_s: float,
+    duration_s: float,
+    mix: WorkloadMix = CHATBOT_MIX,
+    seed: int = 0,
+) -> list[ServiceRequest]:
+    """Generate a Poisson-arrival request trace.
+
+    Args:
+        arrival_rate_per_s: Mean request arrival rate (requests per second).
+        duration_s: Length of the trace window in seconds.
+        mix: Distribution of request shapes.
+        seed: RNG seed (traces are deterministic given the seed).
+
+    Returns:
+        Requests sorted by arrival time, all arriving within ``duration_s``.
+    """
+    if arrival_rate_per_s <= 0:
+        raise ConfigurationError("arrival_rate_per_s must be positive")
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    rng = np.random.default_rng(seed)
+    requests: list[ServiceRequest] = []
+    time_s = 0.0
+    request_id = 0
+    while True:
+        time_s += float(rng.exponential(1.0 / arrival_rate_per_s))
+        if time_s >= duration_s:
+            break
+        requests.append(
+            ServiceRequest(
+                request_id=request_id,
+                arrival_time_s=time_s,
+                workload=mix.sample(rng),
+            )
+        )
+        request_id += 1
+    return requests
+
+
+def constant_trace(
+    interarrival_s: float,
+    num_requests: int,
+    workload: Workload = CHATBOT_WORKLOAD,
+) -> list[ServiceRequest]:
+    """Generate an evenly spaced trace of identical requests (for tests)."""
+    if interarrival_s < 0:
+        raise ConfigurationError("interarrival_s must be non-negative")
+    if num_requests <= 0:
+        raise ConfigurationError("num_requests must be positive")
+    return [
+        ServiceRequest(request_id=i, arrival_time_s=i * interarrival_s, workload=workload)
+        for i in range(num_requests)
+    ]

@@ -1,0 +1,199 @@
+"""Appliance-level serving simulator.
+
+The DFX server appliance hosts one or two independent FPGA clusters behind a
+dual-socket CPU (paper Fig. 5 / Sec. VI); each cluster serves one request at a
+time because text generation is run unbatched (Sec. III-A).  This module is a
+simple event-driven queueing simulator: requests arrive from a trace, wait in
+a FIFO queue, and are dispatched to the first free cluster; per-request
+service time comes from any platform model that exposes
+``run(workload) -> InferenceResult`` (the DFX appliance simulator or the GPU
+baseline), so the same harness compares serving capacity across platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.results import InferenceResult
+from repro.serving.requests import ServiceRequest
+from repro.workloads import Workload
+
+
+class PlatformModel(Protocol):
+    """Anything that can estimate one request's end-to-end result."""
+
+    def run(self, workload: Workload) -> InferenceResult:  # pragma: no cover - protocol
+        ...
+
+
+class LatencyOracle:
+    """Caches per-workload latency/energy so traces with repeated shapes are cheap."""
+
+    def __init__(self, platform: PlatformModel) -> None:
+        self._platform = platform
+        self._cache: dict[Workload, InferenceResult] = {}
+
+    def result_for(self, workload: Workload) -> InferenceResult:
+        """Platform result for ``workload`` (memoized)."""
+        if workload not in self._cache:
+            self._cache[workload] = self._platform.run(workload)
+        return self._cache[workload]
+
+    def service_time_s(self, workload: Workload) -> float:
+        """End-to-end service time for one request of this shape."""
+        return self.result_for(workload).latency_s
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Timing of one served request."""
+
+    request: ServiceRequest
+    start_time_s: float
+    finish_time_s: float
+    cluster_id: int
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Time spent waiting for a free cluster."""
+        return self.start_time_s - self.request.arrival_time_s
+
+    @property
+    def service_time_s(self) -> float:
+        """Time spent executing on the cluster."""
+        return self.finish_time_s - self.start_time_s
+
+    @property
+    def response_time_s(self) -> float:
+        """Arrival-to-completion latency seen by the user."""
+        return self.finish_time_s - self.request.arrival_time_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregate statistics of one serving simulation."""
+
+    platform: str
+    num_clusters: int
+    completed: list[CompletedRequest] = field(default_factory=list)
+    total_energy_joules: float = 0.0
+    makespan_s: float = 0.0
+
+    # ------------------------------------------------------------------ stats
+    def _response_times(self) -> np.ndarray:
+        return np.asarray([c.response_time_s for c in self.completed], dtype=np.float64)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.completed)
+
+    def response_time_percentile_s(self, percentile: float) -> float:
+        """Response-time percentile (e.g. 50, 95, 99) in seconds."""
+        if not self.completed:
+            return 0.0
+        return float(np.percentile(self._response_times(), percentile))
+
+    @property
+    def mean_response_time_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(self._response_times().mean())
+
+    @property
+    def mean_queueing_delay_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.mean([c.queueing_delay_s for c in self.completed]))
+
+    @property
+    def requests_per_hour(self) -> float:
+        """Sustained request throughput over the simulated window."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_s * 3600.0
+
+    @property
+    def output_tokens_per_second(self) -> float:
+        """Sustained generated-token throughput."""
+        if self.makespan_s <= 0:
+            return 0.0
+        tokens = sum(c.request.workload.output_tokens for c in self.completed)
+        return tokens / self.makespan_s
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cluster-time spent serving (busy time / capacity)."""
+        if self.makespan_s <= 0 or self.num_clusters == 0:
+            return 0.0
+        busy = sum(c.service_time_s for c in self.completed)
+        return busy / (self.makespan_s * self.num_clusters)
+
+    @property
+    def energy_per_request_joules(self) -> float:
+        if not self.completed:
+            return 0.0
+        return self.total_energy_joules / self.num_requests
+
+
+class ApplianceServer:
+    """A server appliance with ``num_clusters`` independent accelerator clusters."""
+
+    def __init__(self, platform: PlatformModel, num_clusters: int = 1,
+                 platform_name: str | None = None) -> None:
+        if num_clusters <= 0:
+            raise ConfigurationError("num_clusters must be positive")
+        self.oracle = LatencyOracle(platform)
+        self.num_clusters = num_clusters
+        self.platform_name = platform_name or type(platform).__name__
+
+    def serve(self, trace: list[ServiceRequest]) -> ServingReport:
+        """Replay a request trace with FIFO dispatch to the first free cluster."""
+        report = ServingReport(platform=self.platform_name, num_clusters=self.num_clusters)
+        if not trace:
+            return report
+        ordered = sorted(trace, key=lambda request: request.arrival_time_s)
+
+        # Min-heap of (time the cluster becomes free, cluster id).
+        free_at: list[tuple[float, int]] = [(0.0, cluster) for cluster in range(self.num_clusters)]
+        heapq.heapify(free_at)
+
+        for request in ordered:
+            cluster_free_time, cluster_id = heapq.heappop(free_at)
+            result = self.oracle.result_for(request.workload)
+            start = max(request.arrival_time_s, cluster_free_time)
+            finish = start + result.latency_s
+            heapq.heappush(free_at, (finish, cluster_id))
+            report.completed.append(
+                CompletedRequest(
+                    request=request,
+                    start_time_s=start,
+                    finish_time_s=finish,
+                    cluster_id=cluster_id,
+                )
+            )
+            report.total_energy_joules += result.energy_joules
+
+        report.makespan_s = max(c.finish_time_s for c in report.completed)
+        return report
+
+
+def saturation_sweep(
+    platform: PlatformModel,
+    trace_builder,
+    arrival_rates: list[float],
+    num_clusters: int = 1,
+    platform_name: str | None = None,
+) -> dict[float, ServingReport]:
+    """Serve the same workload mix at increasing arrival rates.
+
+    ``trace_builder(rate)`` must return a request trace for that offered load;
+    the result maps each rate to its serving report, letting callers find the
+    saturation point (where queueing delay explodes).
+    """
+    server = ApplianceServer(platform, num_clusters=num_clusters, platform_name=platform_name)
+    return {rate: server.serve(trace_builder(rate)) for rate in arrival_rates}

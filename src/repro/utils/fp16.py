@@ -1,0 +1,75 @@
+"""Half-precision (IEEE 754 binary16) emulation helpers.
+
+DFX stores all weights and activations as FP16 and computes with FP16
+operators built from Xilinx Floating-Point Operator IP; the V100 baseline also
+runs FP16 kernels.  The accuracy experiments in the paper (Sec. VII-A) hinge
+on both platforms producing near-identical FP16 numerics, with the only
+divergence coming from DFX's lookup-table GELU.
+
+NumPy's ``float16`` type implements binary16 exactly (1 sign, 5 exponent,
+10 mantissa bits), so "computing in FP16" here means rounding every operator
+result back to ``float16`` — mirroring hardware that keeps operands and
+results in half precision while internal accumulation may be wider.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest finite binary16 value.
+FP16_MAX = float(np.finfo(np.float16).max)
+
+#: Smallest positive normal binary16 value.
+FP16_MIN_NORMAL = float(np.finfo(np.float16).tiny)
+
+
+def to_fp16(values: np.ndarray | float) -> np.ndarray:
+    """Round ``values`` to binary16 and return them as ``float16``.
+
+    Values beyond the binary16 range saturate to infinity, exactly as the
+    hardware's FP16 operators would; the overflow warning is intentional
+    behaviour, not an error.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(values, dtype=np.float32).astype(np.float16)
+
+
+def fp16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiply with FP16 inputs and FP16-rounded output.
+
+    The MPU's adder tree accumulates in FP16 DSP operators; emulating every
+    intermediate rounding would be prohibitively slow in NumPy, so we model
+    the common hardware choice of a wider accumulator (float32) with a final
+    rounding to FP16.  The resulting error is well within the tolerance used
+    by the paper's accuracy comparison.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    return (a32 @ b32).astype(np.float16)
+
+
+def fp16_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise addition rounded to binary16."""
+    return (np.asarray(a, dtype=np.float32) + np.asarray(b, dtype=np.float32)).astype(
+        np.float16
+    )
+
+
+def fp16_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise multiplication rounded to binary16."""
+    return (np.asarray(a, dtype=np.float32) * np.asarray(b, dtype=np.float32)).astype(
+        np.float16
+    )
+
+
+def quantization_error(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean absolute error between a reference tensor and its quantized copy."""
+    ref = np.asarray(reference, dtype=np.float64)
+    quant = np.asarray(quantized, dtype=np.float64)
+    if ref.shape != quant.shape:
+        raise ValueError(
+            f"shape mismatch: reference {ref.shape} vs quantized {quant.shape}"
+        )
+    if ref.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(ref - quant)))

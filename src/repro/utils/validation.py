@@ -1,0 +1,52 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_one_of(name: str, value: object, allowed: Iterable[object]) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed_list = list(allowed)
+    if value not in allowed_list:
+        raise ValueError(f"{name} must be one of {allowed_list}, got {value!r}")
+    return value
+
+
+def check_divisible(name: str, value: int, divisor: int) -> int:
+    """Raise ``ValueError`` unless ``value`` is divisible by ``divisor``."""
+    if divisor == 0:
+        raise ValueError("divisor must be non-zero")
+    if value % divisor != 0:
+        raise ValueError(f"{name} ({value}) must be divisible by {divisor}")
+    return value
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Raise ``ValueError`` unless the two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Functional tests run on the tiny/small test configurations so the whole suite
+stays fast; timing-model tests use the real paper configurations because the
+analytical simulator is cheap regardless of model size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.appliance import DFXAppliance
+from repro.model.config import GPT2_1_5B, GPT2_TEST_SMALL, GPT2_TEST_TINY
+from repro.model.gpt2 import GPT2Model
+from repro.model.numerics import FP16_DFX, FP32_EXACT
+from repro.model.weights import GPT2Weights, generate_weights
+from repro.parallel.partitioner import PartitionPlan, build_partition_plan
+
+
+@pytest.fixture(scope="session")
+def tiny_weights() -> GPT2Weights:
+    """Synthetic weights for the tiny test configuration (2 layers, emb 64)."""
+    return generate_weights(GPT2_TEST_TINY, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_weights() -> GPT2Weights:
+    """Synthetic weights for the small test configuration (4 layers, emb 128)."""
+    return generate_weights(GPT2_TEST_SMALL, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_weights: GPT2Weights) -> GPT2Model:
+    """FP32 reference model on the tiny configuration."""
+    return GPT2Model(tiny_weights, numerics=FP32_EXACT)
+
+
+@pytest.fixture(scope="session")
+def tiny_model_fp16_dfx(tiny_weights: GPT2Weights) -> GPT2Model:
+    """DFX-numerics (FP16 + LUT GELU) model on the tiny configuration."""
+    return GPT2Model(tiny_weights, numerics=FP16_DFX)
+
+
+@pytest.fixture(scope="session")
+def tiny_plan_2dev() -> PartitionPlan:
+    """Two-device partition plan for the tiny configuration."""
+    return build_partition_plan(GPT2_TEST_TINY, num_devices=2)
+
+
+@pytest.fixture(scope="session")
+def paper_plan_4dev() -> PartitionPlan:
+    """Four-device partition plan for the 1.5B paper configuration."""
+    return build_partition_plan(GPT2_1_5B, num_devices=4)
+
+
+@pytest.fixture(scope="session")
+def dfx_1_5b_4dev() -> DFXAppliance:
+    """DFX appliance simulator for the paper's primary setup (1.5B, 4 FPGAs)."""
+    return DFXAppliance(GPT2_1_5B, num_devices=4)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator for per-test data."""
+    return np.random.default_rng(1234)

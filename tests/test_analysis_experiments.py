@@ -1,0 +1,120 @@
+"""Tests for the per-figure experiment drivers (shape checks, not full runs).
+
+The full-grid drivers are exercised by the benchmarks; here we verify their
+structure and the paper-shape properties on reduced workload sets so the test
+suite stays fast.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.workload_presets import (
+    EvaluationSetup,
+    PAPER_EVALUATION_SETUPS,
+    PRIMARY_SETUP,
+    SCALABILITY_SETUP,
+)
+from repro.model.config import GPT2_345M, GPT2_TEST_TINY
+from repro.results import PHASE_FFN, PHASE_LAYERNORM, PHASE_RESIDUAL, PHASE_SELF_ATTENTION, PHASE_SYNC
+from repro.workloads import Workload
+
+
+class TestPresets:
+    def test_paper_setups(self):
+        assert len(PAPER_EVALUATION_SETUPS) == 3
+        assert [setup.num_devices for setup in PAPER_EVALUATION_SETUPS] == [1, 2, 4]
+        assert PRIMARY_SETUP.config.name == "gpt2-1.5b"
+        assert SCALABILITY_SETUP.config is GPT2_345M
+
+    def test_setup_label(self):
+        assert EvaluationSetup(GPT2_345M, 1).label == "345M, 1 GPU vs 1 FPGA"
+        assert "4 GPUs vs 4 FPGAs" in PRIMARY_SETUP.label
+
+
+class TestMotivationDrivers:
+    def test_figure3_marginal_costs(self):
+        result = experiments.run_figure3()
+        assert len(result.workloads) == 7
+        # Paper: ~75 ms per extra output token, ~0.02 ms per extra input token.
+        assert result.marginal_output_token_ms > 100 * result.marginal_input_token_ms
+
+    def test_figure4_breakdowns(self):
+        result = experiments.run_figure4()
+        assert set(result.latency_fractions) == {
+            PHASE_LAYERNORM, PHASE_SELF_ATTENTION, PHASE_RESIDUAL, PHASE_FFN,
+        }
+        assert result.operation_fractions[PHASE_FFN] > result.operation_fractions[PHASE_LAYERNORM]
+        assert sum(result.latency_fractions.values()) == pytest.approx(1.0)
+
+
+class TestDesignSpaceAndResources:
+    def test_figure8_selects_64_16(self):
+        result = experiments.run_figure8()
+        assert (64, 16) in result.best_performing_points()
+        assert result.cheapest_best_point() == (64, 16)
+
+    def test_figure13_report(self):
+        report = experiments.run_figure13()
+        report.check_fits()
+        assert report.utilization()["total"]["dsp"] < 0.5
+
+
+class TestEvaluationDrivers:
+    def test_figure14_reduced_grid(self):
+        setups = (EvaluationSetup(GPT2_345M, 1),)
+        workloads = (Workload(32, 1), Workload(32, 16))
+        result = experiments.run_figure14(setups=setups, workloads=workloads)
+        assert len(result.columns) == 1
+        column = result.columns[0]
+        assert len(column.rows) == 2
+        assert column.average_speedup > 1.0
+        assert "gpt2-345m" in result.speedups()
+
+    def test_figure15_breakdown_phases(self):
+        report = experiments.run_figure15(workload=Workload(32, 8))
+        assert set(report.fractions) == {
+            PHASE_SELF_ATTENTION, PHASE_FFN, PHASE_SYNC, PHASE_LAYERNORM, PHASE_RESIDUAL,
+        }
+        assert sum(report.fractions.values()) == pytest.approx(1.0)
+
+    def test_figure16_gains(self):
+        result = experiments.run_figure16(workloads=(Workload(32, 16), Workload(64, 16)))
+        assert result.throughput_gain > 1.0
+        assert result.energy_efficiency_gain > 1.0
+
+    def test_figure17_platform_contrast(self):
+        result = experiments.run_figure17(workload=Workload(32, 16))
+        # GPU/TPU collapse in the generation stage; DFX does not.
+        assert result.gpu.summarization_gflops > 5 * result.gpu.generation_gflops
+        assert result.tpu.summarization_gflops > 5 * result.tpu.generation_gflops
+        assert result.dfx.generation_gflops == pytest.approx(
+            result.dfx.summarization_gflops, rel=0.2
+        )
+        assert result.dfx.generation_gflops > result.gpu.generation_gflops
+
+    def test_figure18_scaling(self):
+        result = experiments.run_figure18(workload=Workload(32, 16), device_counts=(1, 2))
+        assert result.tokens_per_second[1] > result.tokens_per_second[0]
+        factors = result.scaling_factors()
+        assert len(factors) == 1
+        assert 1.0 < factors[0] < 2.0
+
+
+class TestTablesAndAccuracy:
+    def test_table1_rows(self):
+        rows = experiments.run_table1()
+        assert len(rows) == 3
+        assert rows[2]["layers"] == 48
+        assert all(row["head_dimension"] == 64 for row in rows)
+
+    def test_table2_cost_effectiveness(self):
+        comparison = experiments.run_table2(workload=Workload(32, 16))
+        assert comparison.cost_effectiveness_gain > 1.0
+        assert comparison.upfront_saving_usd == pytest.approx(14_652, rel=0.001)
+
+    def test_accuracy_comparison_on_tiny_model(self):
+        comparisons = experiments.run_accuracy_comparison(config=GPT2_TEST_TINY)
+        assert len(comparisons) == 3
+        for comparison in comparisons:
+            assert comparison.agreement > 0.9
+            assert abs(comparison.accuracy_delta) < 0.05

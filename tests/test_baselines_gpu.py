@@ -1,0 +1,112 @@
+"""Tests for the calibrated GPU appliance baseline (Fig. 3, 4, 14)."""
+
+import pytest
+
+from repro.baselines.gpu import GPU_LAYER_TIME_FRACTIONS, GPUAppliance
+from repro.baselines.specs import DEFAULT_V100, GPU_APPLIANCE_COST
+from repro.errors import ConfigurationError
+from repro.model.config import GPT2_1_5B, GPT2_345M, GPT2_774M
+from repro.results import PHASE_FFN, PHASE_LAYERNORM, PHASE_RESIDUAL, PHASE_SELF_ATTENTION
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def gpu_1_5b():
+    return GPUAppliance(GPT2_1_5B, num_devices=4)
+
+
+class TestSequentialBottleneck:
+    """Reproduces the paper's motivation (Fig. 3)."""
+
+    def test_output_tokens_dominate_latency(self, gpu_1_5b):
+        base = gpu_1_5b.run(Workload(32, 1)).latency_ms
+        plus_outputs = gpu_1_5b.run(Workload(32, 4)).latency_ms
+        plus_inputs = gpu_1_5b.run(Workload(128, 1)).latency_ms
+        per_output = (plus_outputs - base) / 3
+        per_input = (plus_inputs - base) / 96
+        # Paper: ~75 ms per output token vs ~0.02 ms per input token.
+        assert per_output > 1000 * per_input
+        assert per_output == pytest.approx(75.45, rel=0.20)
+        assert per_input < 0.2
+
+    def test_generation_throughput_roughly_constant(self, gpu_1_5b):
+        # Fig. 16: GPU tokens/s barely moves as output length scales.
+        short = gpu_1_5b.run(Workload(32, 16))
+        long = gpu_1_5b.run(Workload(32, 256))
+        assert long.tokens_per_second == pytest.approx(short.tokens_per_second, rel=0.30)
+
+
+class TestPaperLatencyAgreement:
+    @pytest.mark.parametrize(
+        "config, num_devices, workload, paper_ms",
+        [
+            (GPT2_345M, 1, Workload(32, 1), 38.1),
+            (GPT2_345M, 1, Workload(32, 256), 9506.4),
+            (GPT2_774M, 2, Workload(64, 64), 3903.6),
+            (GPT2_1_5B, 4, Workload(32, 1), 86.7),
+            (GPT2_1_5B, 4, Workload(64, 64), 4921.2),
+            (GPT2_1_5B, 4, Workload(32, 256), 19873.6),
+        ],
+    )
+    def test_latency_close_to_measurement(self, config, num_devices, workload, paper_ms):
+        appliance = GPUAppliance(config, num_devices=num_devices)
+        assert appliance.run(workload).latency_ms == pytest.approx(paper_ms, rel=0.20)
+
+    def test_table2_throughput_point(self, gpu_1_5b):
+        # Table II: 13.01 tokens/s on the 1.5B model at 64:64.
+        assert gpu_1_5b.run(Workload(64, 64)).tokens_per_second == pytest.approx(
+            13.01, rel=0.15
+        )
+
+
+class TestBreakdown:
+    def test_latency_fractions_match_fig4(self, gpu_1_5b):
+        result = gpu_1_5b.run(Workload(64, 64))
+        fractions = result.breakdown_fractions()
+        layer_total = sum(
+            fractions[phase] for phase in GPU_LAYER_TIME_FRACTIONS
+        )
+        for phase, expected in GPU_LAYER_TIME_FRACTIONS.items():
+            assert fractions[phase] / layer_total == pytest.approx(expected, abs=0.02)
+
+    def test_operation_fractions_match_fig4_right_bar(self, gpu_1_5b):
+        ops = gpu_1_5b.operation_count_fractions()
+        assert ops[PHASE_FFN] == pytest.approx(0.6659, abs=0.02)
+        assert ops[PHASE_SELF_ATTENTION] == pytest.approx(0.3331, abs=0.02)
+        assert ops[PHASE_LAYERNORM] < 0.005
+        assert ops[PHASE_RESIDUAL] < 0.001
+
+    def test_layernorm_residual_disparity(self, gpu_1_5b):
+        # The paper's point: 22.8% of time for 0.11% of the operations.
+        time_fractions = GPU_LAYER_TIME_FRACTIONS
+        op_fractions = gpu_1_5b.operation_count_fractions()
+        time_share = time_fractions[PHASE_LAYERNORM] + time_fractions[PHASE_RESIDUAL]
+        op_share = op_fractions[PHASE_LAYERNORM] + op_fractions[PHASE_RESIDUAL]
+        assert time_share > 0.2
+        assert op_share < 0.005
+
+
+class TestConfigurationAndEnergy:
+    def test_head_count_must_divide_across_gpus(self):
+        with pytest.raises(ConfigurationError):
+            GPUAppliance(GPT2_774M, num_devices=3)
+        with pytest.raises(ConfigurationError):
+            GPUAppliance(GPT2_345M, num_devices=0)
+
+    def test_power_is_average_measured_power(self, gpu_1_5b):
+        result = gpu_1_5b.run(Workload(32, 16))
+        assert result.total_power_watts == pytest.approx(4 * DEFAULT_V100.average_power_watts)
+
+    def test_more_gpus_reduce_weight_read_but_add_sync(self):
+        one = GPUAppliance(GPT2_345M, 1).per_layer_ms()
+        four = GPUAppliance(GPT2_345M, 4).per_layer_ms()
+        # Fixed overheads dominate, so four GPUs are NOT 4x faster per layer.
+        assert four > one / 2
+
+    def test_cost_sheet_matches_paper(self):
+        assert GPU_APPLIANCE_COST.accelerator_cost_usd == pytest.approx(45_832, rel=0.001)
+
+    def test_request_flops_scale_with_tokens(self, gpu_1_5b):
+        small = gpu_1_5b.request_flops(Workload(32, 8))
+        large = gpu_1_5b.request_flops(Workload(32, 64))
+        assert large > small

@@ -1,0 +1,72 @@
+"""Tests for the GPU batching model (paper Sec. III-A).
+
+The paper's argument: batching raises GPU utilization/throughput, but the
+latency cost of gathering a batch from independent user requests makes
+datacenters run text generation unbatched — which is the regime DFX targets.
+"""
+
+import pytest
+
+from repro.baselines.gpu import GPUAppliance
+from repro.errors import ConfigurationError
+from repro.model.config import GPT2_1_5B
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GPUAppliance(GPT2_1_5B, num_devices=4)
+
+
+class TestBatchedThroughput:
+    def test_per_request_cost_drops_with_batch_size(self, gpu):
+        unbatched = gpu.batched_per_token_generation_ms(1)
+        batched_8 = gpu.batched_per_token_generation_ms(8)
+        batched_32 = gpu.batched_per_token_generation_ms(32)
+        assert batched_8 < unbatched
+        assert batched_32 < batched_8
+
+    def test_unbatched_matches_standard_model(self, gpu):
+        assert gpu.batched_per_token_generation_ms(1) == pytest.approx(
+            gpu.per_token_generation_ms()
+        )
+
+    def test_amortization_saturates(self, gpu):
+        # The marginal compute per extra batch row bounds the gain: going from
+        # batch 32 to 64 saves far less than going from 1 to 2.
+        gain_small = gpu.batched_per_token_generation_ms(1) - gpu.batched_per_token_generation_ms(2)
+        gain_large = gpu.batched_per_token_generation_ms(32) - gpu.batched_per_token_generation_ms(64)
+        assert gain_small > 5 * gain_large
+
+    def test_invalid_batch_size(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.batched_per_token_generation_ms(0)
+
+
+class TestBatchedLatency:
+    def test_batching_without_gather_time_does_not_reduce_request_latency_much(self, gpu):
+        # Every batched request still waits for the whole batch's tokens.
+        workload = Workload(32, 32)
+        unbatched = gpu.run(workload).latency_ms
+        batched = gpu.batched_request_latency_ms(workload, batch_size=8)
+        assert batched > 0.8 * unbatched
+
+    def test_gather_time_adds_directly_to_latency(self, gpu):
+        workload = Workload(32, 32)
+        fast = gpu.batched_request_latency_ms(workload, 8, batch_gather_ms=0.0)
+        slow = gpu.batched_request_latency_ms(workload, 8, batch_gather_ms=500.0)
+        assert slow == pytest.approx(fast + 500.0)
+
+    def test_negative_gather_time_rejected(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.batched_request_latency_ms(Workload(32, 8), 4, batch_gather_ms=-1.0)
+
+    def test_dfx_unbatched_still_beats_batched_gpu_latency(self, gpu):
+        # Even granting the GPU a full batch of 8 with a modest 1-second
+        # gather window, per-request latency stays above DFX's unbatched run.
+        from repro.core.appliance import DFXAppliance
+
+        workload = Workload(32, 32)
+        dfx = DFXAppliance(GPT2_1_5B, num_devices=4).run(workload).latency_ms
+        gpu_batched = gpu.batched_request_latency_ms(workload, 8, batch_gather_ms=1000.0)
+        assert dfx < gpu_batched

@@ -1,0 +1,65 @@
+"""Tests for the TPU baseline model and the hardware spec sheets."""
+
+import pytest
+
+from repro.baselines.specs import (
+    DEFAULT_TPU_V3,
+    DEFAULT_V100,
+    DFX_APPLIANCE_COST,
+    GPU_APPLIANCE_COST,
+)
+from repro.baselines.tpu import TPUBaseline
+from repro.errors import ConfigurationError
+from repro.model.config import GPT2_345M
+from repro.workloads import Workload
+
+
+class TestSpecs:
+    def test_v100_headline_numbers(self):
+        assert DEFAULT_V100.memory_bandwidth == pytest.approx(900e9)
+        assert DEFAULT_V100.memory_capacity_bytes == 32 * 2**30
+        assert DEFAULT_V100.average_power_watts == pytest.approx(47.5)
+        assert DEFAULT_V100.unit_price_usd == pytest.approx(11_458)
+
+    def test_cost_sheets_match_table2(self):
+        assert GPU_APPLIANCE_COST.num_accelerators == 4
+        assert DFX_APPLIANCE_COST.num_accelerators == 4
+        assert DFX_APPLIANCE_COST.accelerator_cost_usd == pytest.approx(31_180, rel=0.001)
+        saving = GPU_APPLIANCE_COST.accelerator_cost_usd - DFX_APPLIANCE_COST.accelerator_cost_usd
+        assert saving == pytest.approx(14_652, rel=0.001)
+
+    def test_tpu_spec_sanity(self):
+        assert DEFAULT_TPU_V3.memory_bandwidth > 0
+        assert DEFAULT_TPU_V3.average_power_watts > 0
+
+
+class TestTPUBaseline:
+    @pytest.fixture(scope="class")
+    def tpu(self):
+        return TPUBaseline(GPT2_345M)
+
+    def test_generation_collapse(self, tpu):
+        # Fig. 17: the TPU drops from ~675 GFLOP/s (summarization) to
+        # ~8 GFLOP/s (generation) — a two-orders-of-magnitude collapse.
+        result = tpu.run(Workload(64, 64))
+        assert result.summarization_gflops > 20 * result.generation_gflops
+
+    def test_tpu_slower_than_gpu_for_generation(self, tpu):
+        from repro.baselines.gpu import GPUAppliance
+
+        gpu = GPUAppliance(GPT2_345M, num_devices=1)
+        workload = Workload(64, 64)
+        assert tpu.run(workload).latency_ms > gpu.run(workload).latency_ms
+
+    def test_latency_scales_with_output_tokens(self, tpu):
+        assert tpu.run(Workload(64, 32)).latency_ms < tpu.run(Workload(64, 64)).latency_ms
+
+    def test_summarization_requires_positive_tokens(self, tpu):
+        with pytest.raises(ConfigurationError):
+            tpu.summarization_ms(0)
+
+    def test_result_metadata(self, tpu):
+        result = tpu.run(Workload(32, 8))
+        assert result.platform == "tpu"
+        assert result.num_devices == 1
+        assert result.total_power_watts == DEFAULT_TPU_V3.average_power_watts

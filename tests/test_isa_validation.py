@@ -1,0 +1,92 @@
+"""Tests for static program validation."""
+
+import pytest
+
+from repro.errors import ProgramValidationError
+from repro.isa.instructions import (
+    DMAInstruction,
+    MatrixInstruction,
+    RouterInstruction,
+    VectorInstruction,
+)
+from repro.isa.opcodes import DMAOpcode, MatrixOpcode, RouterOpcode, VectorOpcode
+from repro.isa.program import Program
+from repro.isa.validation import validate_layer_program, validate_program
+
+
+def _conv(dst="y", src="x", weight="w"):
+    return MatrixInstruction(MatrixOpcode.CONV1D, dst=dst, input_operand=src,
+                             weight_operand=weight, rows=1, in_dim=4, out_dim=4)
+
+
+class TestDefBeforeUse:
+    def test_valid_chain(self):
+        program = Program(name="ok", inputs=("x",), outputs=("z",))
+        program.extend([
+            _conv(dst="y", src="x"),
+            VectorInstruction(VectorOpcode.ADD, dst="z", src1="y", src2="x", length=4),
+        ])
+        assert validate_program(program).is_valid
+
+    def test_use_before_definition_detected(self):
+        program = Program(name="bad", inputs=("x",))
+        program.append(
+            VectorInstruction(VectorOpcode.ADD, dst="z", src1="missing", src2="x", length=4)
+        )
+        report = validate_program(program)
+        assert not report.is_valid
+        assert any("missing" in error for error in report.errors)
+
+    def test_matrix_input_must_be_live(self):
+        program = Program(name="bad", inputs=())
+        program.append(_conv(src="never_defined"))
+        assert not validate_program(program).is_valid
+
+    def test_missing_declared_output_detected(self):
+        program = Program(name="bad", inputs=("x",), outputs=("result",))
+        program.append(_conv(dst="y", src="x"))
+        report = validate_program(program)
+        assert any("result" in error for error in report.errors)
+
+    def test_raise_if_invalid(self):
+        program = Program(name="bad", inputs=(), outputs=("y",))
+        with pytest.raises(ProgramValidationError):
+            validate_program(program).raise_if_invalid()
+
+
+class TestMemoryChecking:
+    def test_weight_presence_checked_when_memory_given(self):
+        program = Program(name="m", inputs=("x",))
+        program.append(_conv(weight="w_ffn1"))
+        ok = validate_program(program, memory_buffers={"w_ffn1"})
+        missing = validate_program(program, memory_buffers={"something_else"})
+        assert ok.is_valid
+        assert not missing.is_valid
+
+    def test_dma_store_requires_live_source(self):
+        program = Program(name="m", inputs=())
+        program.append(DMAInstruction(DMAOpcode.STORE_KV, dst="kv.key.h0", src="key_local"))
+        assert not validate_program(program).is_valid
+
+    def test_router_source_must_be_live(self):
+        program = Program(name="m", inputs=())
+        program.append(RouterInstruction(RouterOpcode.SYNC, dst="full", src="part",
+                                         payload_elements=8))
+        assert not validate_program(program).is_valid
+
+    def test_column_window_mismatch_detected(self):
+        program = Program(name="m", inputs=("x",))
+        program.append(
+            MatrixInstruction(MatrixOpcode.MASKED_MM, dst="s", input_operand="x",
+                              weight_operand="k", rows=1, in_dim=64, out_dim=8,
+                              input_col_offset=0, input_col_count=32)
+        )
+        report = validate_program(program)
+        assert any("column window" in error for error in report.errors)
+
+
+class TestLayerValidation:
+    def test_sync_count_enforced(self):
+        program = Program(name="layer", inputs=("hidden",), outputs=("hidden",))
+        report = validate_layer_program(program, expected_syncs=4)
+        assert any("synchronizations" in error for error in report.errors)

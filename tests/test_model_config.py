@@ -1,0 +1,100 @@
+"""Unit tests for repro.model.config (paper Table I)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import config as config_module
+from repro.model.config import (
+    GPT2Config,
+    GPT2_1_5B,
+    GPT2_345M,
+    GPT2_774M,
+    PAPER_MODELS,
+    from_preset,
+)
+
+
+class TestTable1Configurations:
+    """The three paper models must match Table I exactly."""
+
+    def test_345m_row(self):
+        assert GPT2_345M.n_embd == 1024
+        assert GPT2_345M.n_head == 16
+        assert GPT2_345M.head_dim == 64
+        assert GPT2_345M.n_layer == 24
+
+    def test_774m_row(self):
+        assert GPT2_774M.n_embd == 1280
+        assert GPT2_774M.n_head == 20
+        assert GPT2_774M.head_dim == 64
+        assert GPT2_774M.n_layer == 36
+
+    def test_1_5b_row_uses_adjusted_head_count(self):
+        # The paper changes OpenAI's 25 heads to 24 so the model parallelizes.
+        assert GPT2_1_5B.n_embd == 1536
+        assert GPT2_1_5B.n_head == 24
+        assert GPT2_1_5B.head_dim == 64
+        assert GPT2_1_5B.n_layer == 48
+
+    def test_all_paper_models_have_head_dim_64(self):
+        for model in PAPER_MODELS:
+            assert model.head_dim == 64
+
+    @pytest.mark.parametrize(
+        "model, approx_params",
+        [(GPT2_345M, 345e6), (GPT2_774M, 774e6), (GPT2_1_5B, 1.5e9)],
+    )
+    def test_parameter_counts_match_model_names(self, model, approx_params):
+        assert model.total_parameter_count() == pytest.approx(approx_params, rel=0.12)
+
+
+class TestConfigValidation:
+    def test_embedding_must_divide_by_heads(self):
+        with pytest.raises(ConfigurationError):
+            GPT2Config(name="bad", n_layer=2, n_embd=100, n_head=3)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ConfigurationError):
+            GPT2Config(name="bad", n_layer=0, n_embd=64, n_head=4)
+        with pytest.raises(ConfigurationError):
+            GPT2Config(name="bad", n_layer=2, n_embd=64, n_head=4, vocab_size=0)
+
+    def test_ffn_dim_is_four_times_embedding(self):
+        assert GPT2_1_5B.ffn_dim == 4 * GPT2_1_5B.n_embd
+
+    def test_scaled_returns_modified_copy(self):
+        wider = GPT2_345M.scaled(n_embd=2048, n_head=32)
+        assert wider.n_embd == 2048
+        assert GPT2_345M.n_embd == 1024  # original untouched
+
+
+class TestWeightSizing:
+    def test_layer_parameter_count_formula(self):
+        config = GPT2_345M
+        emb = config.n_embd
+        expected = (
+            emb * 3 * emb + 3 * emb
+            + emb * emb + emb
+            + emb * 4 * emb + 4 * emb
+            + 4 * emb * emb + emb
+            + 4 * emb
+        )
+        assert config.layer_parameter_count() == expected
+
+    def test_total_weight_bytes_fp16_1_5b_fits_four_hbm_stacks(self):
+        # 1.5B parameters in FP16 is ~2.9 GiB: it does not fit one 8 GB HBM
+        # alongside activations+KV comfortably at full context, but a quarter
+        # of it does — the motivation for the 4-FPGA cluster.
+        total_gib = GPT2_1_5B.total_weight_bytes() / 2**30
+        assert 2.5 < total_gib < 3.5
+
+    def test_preset_lookup(self):
+        assert from_preset("1.5b") is GPT2_1_5B
+        assert from_preset("GPT2-345M") is GPT2_345M
+        with pytest.raises(ConfigurationError):
+            from_preset("13b")
+
+    def test_available_presets_sorted(self):
+        presets = config_module.available_presets()
+        assert presets == sorted(presets)
+        assert "1.5b" in presets

@@ -1,0 +1,74 @@
+"""Unit tests for the Key/Value cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.model.config import GPT2_TEST_TINY
+from repro.model.kv_cache import KVCache, LayerKVCache
+
+
+class TestLayerCache:
+    def _empty(self, n_head=4, head_dim=16):
+        return LayerKVCache(
+            keys=np.zeros((n_head, 0, head_dim), dtype=np.float32),
+            values=np.zeros((n_head, 0, head_dim), dtype=np.float32),
+        )
+
+    def test_append_grows_sequence(self):
+        cache = self._empty()
+        cache.append(np.ones((4, 3, 16)), np.ones((4, 3, 16)))
+        assert cache.seq_len == 3
+        cache.append(np.ones((4, 1, 16)), np.ones((4, 1, 16)))
+        assert cache.seq_len == 4
+
+    def test_append_shape_mismatch_rejected(self):
+        cache = self._empty()
+        with pytest.raises(ExecutionError):
+            cache.append(np.ones((4, 1, 16)), np.ones((4, 2, 16)))
+        with pytest.raises(ExecutionError):
+            cache.append(np.ones((2, 1, 16)), np.ones((2, 1, 16)))
+
+    def test_appended_values_preserved(self):
+        cache = self._empty(n_head=1, head_dim=2)
+        first = np.array([[[1.0, 2.0]]], dtype=np.float32)
+        second = np.array([[[3.0, 4.0]]], dtype=np.float32)
+        cache.append(first, first)
+        cache.append(second, second)
+        np.testing.assert_array_equal(cache.keys[0, 0], [1.0, 2.0])
+        np.testing.assert_array_equal(cache.keys[0, 1], [3.0, 4.0])
+
+
+class TestModelCache:
+    def test_empty_cache_structure(self):
+        cache = KVCache.empty(GPT2_TEST_TINY)
+        assert len(cache.layers) == GPT2_TEST_TINY.n_layer
+        assert cache.seq_len == 0
+
+    def test_layer_index_bounds(self):
+        cache = KVCache.empty(GPT2_TEST_TINY)
+        with pytest.raises(ExecutionError):
+            cache.layer(GPT2_TEST_TINY.n_layer)
+
+    def test_memory_bytes_grows_with_context(self):
+        config = GPT2_TEST_TINY
+        cache = KVCache.empty(config, dtype=np.float16)
+        assert cache.memory_bytes() == 0
+        for layer in cache.layers:
+            layer.append(
+                np.zeros((config.n_head, 10, config.head_dim), dtype=np.float16),
+                np.zeros((config.n_head, 10, config.head_dim), dtype=np.float16),
+            )
+        expected = config.n_layer * 2 * config.n_head * 10 * config.head_dim * 2
+        assert cache.memory_bytes() == expected
+
+    def test_per_token_kv_footprint_1_5b(self):
+        # One token adds a 1536-wide FP16 row to K and to V in each of the 48
+        # layers: ~0.3 MB per token, the quantity Sec. V-B's transpose scheme
+        # is designed around (the paper quotes ~0.31 MB for the Value side of
+        # its 1.5B configuration).
+        from repro.model.config import GPT2_1_5B
+
+        per_token_bytes = 2 * GPT2_1_5B.n_layer * GPT2_1_5B.n_embd * 2
+        assert per_token_bytes == 294_912
+        assert 0.25e6 < per_token_bytes < 0.35e6

@@ -1,0 +1,136 @@
+"""Unit tests for the functional decoder building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.model import layers
+from repro.model.numerics import FP16_DFX, FP32_EXACT
+
+
+class TestLinear:
+    def test_matches_numpy_affine(self, rng):
+        x = rng.normal(size=(5, 8)).astype(np.float32)
+        w = rng.normal(size=(8, 12)).astype(np.float32)
+        b = rng.normal(size=12).astype(np.float32)
+        np.testing.assert_allclose(
+            layers.linear(x, w, b), x @ w + b, rtol=1e-5, atol=1e-5
+        )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ExecutionError):
+            layers.linear(np.zeros((2, 3)), np.zeros((4, 5)), np.zeros(5))
+
+
+class TestLayerNorm:
+    def test_output_is_normalized(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(4, 64)).astype(np.float32)
+        gamma = np.ones(64, dtype=np.float32)
+        beta = np.zeros(64, dtype=np.float32)
+        out = layers.layer_norm(x, gamma, beta)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        x = rng.normal(size=(2, 16)).astype(np.float32)
+        gamma = np.full(16, 2.0, dtype=np.float32)
+        beta = np.full(16, 1.0, dtype=np.float32)
+        out = layers.layer_norm(x, gamma, beta)
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-4)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(3, 11)).astype(np.float32)
+        out = layers.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 7)).astype(np.float32)
+        np.testing.assert_allclose(
+            layers.softmax(x), layers.softmax(x + 100.0), atol=1e-5
+        )
+
+    def test_large_values_do_not_overflow(self):
+        x = np.array([[1e4, 1e4 - 1.0]], dtype=np.float32)
+        out = layers.softmax(x)
+        assert np.all(np.isfinite(out))
+
+
+class TestCausalMask:
+    def test_square_mask_is_lower_triangular(self):
+        mask = layers.causal_mask(4, 4)
+        expected = np.tril(np.ones((4, 4), dtype=bool))
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_generation_step_mask_allows_full_history(self):
+        # A single query at position 7 of an 8-long context sees everything.
+        mask = layers.causal_mask(1, 8)
+        assert mask.shape == (1, 8)
+        assert mask.all()
+
+    def test_offset_mask(self):
+        mask = layers.causal_mask(2, 5)
+        np.testing.assert_array_equal(mask[0], [True, True, True, True, False])
+        np.testing.assert_array_equal(mask[1], [True, True, True, True, True])
+
+    def test_query_longer_than_keys_rejected(self):
+        with pytest.raises(ExecutionError):
+            layers.causal_mask(5, 3)
+
+
+class TestHeads:
+    def test_split_merge_round_trip(self, rng):
+        x = rng.normal(size=(6, 32)).astype(np.float32)
+        np.testing.assert_array_equal(layers.merge_heads(layers.split_heads(x, 4)), x)
+
+    def test_split_shape(self, rng):
+        x = rng.normal(size=(6, 32)).astype(np.float32)
+        assert layers.split_heads(x, 4).shape == (4, 6, 8)
+
+    def test_invalid_head_count(self):
+        with pytest.raises(ExecutionError):
+            layers.split_heads(np.zeros((2, 10)), 3)
+
+
+class TestAttention:
+    def test_uniform_attention_when_scores_equal(self):
+        n_head, seq, dim = 2, 3, 4
+        query = np.zeros((n_head, 1, dim), dtype=np.float32)
+        key = np.zeros((n_head, seq, dim), dtype=np.float32)
+        value = np.stack(
+            [np.arange(seq * dim, dtype=np.float32).reshape(seq, dim)] * n_head
+        )
+        out = layers.scaled_dot_product_attention(query, key, value, causal=True)
+        np.testing.assert_allclose(out[0, 0], value[0].mean(axis=0), atol=1e-5)
+
+    def test_causal_mask_blocks_future(self, rng):
+        n_head, seq, dim = 1, 4, 8
+        query = rng.normal(size=(n_head, seq, dim)).astype(np.float32)
+        key = rng.normal(size=(n_head, seq, dim)).astype(np.float32)
+        value = rng.normal(size=(n_head, seq, dim)).astype(np.float32)
+        full = layers.scaled_dot_product_attention(query, key, value, causal=True)
+        # Row 0 attends only to position 0, so changing later values must not
+        # affect it.
+        value_perturbed = value.copy()
+        value_perturbed[:, 1:, :] += 100.0
+        perturbed = layers.scaled_dot_product_attention(
+            query, key, value_perturbed, causal=True
+        )
+        np.testing.assert_allclose(full[0, 0], perturbed[0, 0], atol=1e-4)
+        assert not np.allclose(full[0, -1], perturbed[0, -1])
+
+    def test_fp16_mode_returns_fp16(self, rng):
+        q = rng.normal(size=(2, 3, 4)).astype(np.float16)
+        out = layers.scaled_dot_product_attention(q, q, q, numerics=FP16_DFX)
+        assert out.dtype == np.float16
+
+    def test_shape_checks(self):
+        with pytest.raises(ExecutionError):
+            layers.scaled_dot_product_attention(
+                np.zeros((2, 3)), np.zeros((2, 3, 4)), np.zeros((2, 3, 4))
+            )
+        with pytest.raises(ExecutionError):
+            layers.scaled_dot_product_attention(
+                np.zeros((1, 2, 4)), np.zeros((1, 3, 4)), np.zeros((1, 4, 4))
+            )

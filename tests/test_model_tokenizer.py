@@ -1,0 +1,63 @@
+"""Unit tests for the synthetic tokenizer."""
+
+import pytest
+
+from repro.model.tokenizer import (
+    END_OF_TEXT_TOKEN_ID,
+    NUM_RESERVED_TOKENS,
+    SyntheticTokenizer,
+)
+
+
+class TestEncoding:
+    def test_encode_produces_in_range_ids(self):
+        tokenizer = SyntheticTokenizer(vocab_size=1000)
+        ids = tokenizer.encode("Hello, my name is James.")
+        assert ids
+        assert all(NUM_RESERVED_TOKENS <= token < 1000 for token in ids)
+
+    def test_encoding_is_deterministic_across_instances(self):
+        first = SyntheticTokenizer(vocab_size=5000).encode("the quick brown fox")
+        second = SyntheticTokenizer(vocab_size=5000).encode("the quick brown fox")
+        assert first == second
+
+    def test_same_word_same_id(self):
+        tokenizer = SyntheticTokenizer()
+        ids = tokenizer.encode("hello hello hello")
+        assert len(set(ids)) == 1
+
+    def test_case_insensitive_by_default(self):
+        tokenizer = SyntheticTokenizer()
+        assert tokenizer.token_id("Hello") == tokenizer.token_id("hello")
+
+    def test_case_sensitive_mode(self):
+        tokenizer = SyntheticTokenizer(lowercase=False)
+        assert tokenizer.token_id("Hello") != tokenizer.token_id("hello")
+
+    def test_punctuation_is_tokenized_separately(self):
+        tokenizer = SyntheticTokenizer()
+        assert len(tokenizer.encode("name.")) == 2
+
+
+class TestDecoding:
+    def test_round_trip_for_seen_words(self):
+        tokenizer = SyntheticTokenizer()
+        text = "hello my name is james"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_unseen_ids_decode_to_placeholders(self):
+        tokenizer = SyntheticTokenizer(vocab_size=100)
+        assert tokenizer.decode([42]).startswith("<unk-")
+
+    def test_reserved_tokens_decode_symbolically(self):
+        tokenizer = SyntheticTokenizer()
+        assert tokenizer.decode([END_OF_TEXT_TOKEN_ID]) == "<|endoftext|>"
+
+
+class TestConstruction:
+    def test_len_is_vocab_size(self):
+        assert len(SyntheticTokenizer(vocab_size=1234)) == 1234
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(vocab_size=2)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.model.weights (synthetic weight generation)."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import GPT2_TEST_SMALL, GPT2_TEST_TINY
+from repro.model.weights import generate_layer_weights, generate_weights
+
+
+class TestShapes:
+    def test_embedding_shapes(self, tiny_weights):
+        config = GPT2_TEST_TINY
+        assert tiny_weights.wte.shape == (config.vocab_size, config.n_embd)
+        assert tiny_weights.wpe.shape == (config.n_positions, config.n_embd)
+
+    def test_layer_count(self, tiny_weights):
+        assert len(tiny_weights.layers) == GPT2_TEST_TINY.n_layer
+
+    def test_layer_shapes(self, tiny_weights):
+        config = GPT2_TEST_TINY
+        layer = tiny_weights.layers[0]
+        assert layer.w_qkv.shape == (config.n_embd, 3 * config.n_embd)
+        assert layer.w_attn_proj.shape == (config.n_embd, config.n_embd)
+        assert layer.w_ffn1.shape == (config.n_embd, config.ffn_dim)
+        assert layer.w_ffn2.shape == (config.ffn_dim, config.n_embd)
+        assert layer.ln1_gamma.shape == (config.n_embd,)
+
+    def test_parameter_count_matches_config(self, tiny_weights):
+        assert tiny_weights.parameter_count() == GPT2_TEST_TINY.total_parameter_count()
+
+
+class TestDeterminismAndScale:
+    def test_same_seed_same_weights(self):
+        first = generate_weights(GPT2_TEST_TINY, seed=3)
+        second = generate_weights(GPT2_TEST_TINY, seed=3)
+        np.testing.assert_array_equal(first.wte, second.wte)
+        np.testing.assert_array_equal(first.layers[0].w_qkv, second.layers[0].w_qkv)
+
+    def test_different_seed_different_weights(self):
+        first = generate_weights(GPT2_TEST_TINY, seed=3)
+        second = generate_weights(GPT2_TEST_TINY, seed=4)
+        assert not np.array_equal(first.wte, second.wte)
+
+    def test_initialization_scale(self):
+        weights = generate_weights(GPT2_TEST_SMALL, seed=0)
+        std = float(np.std(weights.layers[0].w_qkv))
+        assert 0.015 < std < 0.025  # GPT-2 uses std 0.02
+
+    def test_residual_projections_scaled_down(self):
+        weights = generate_weights(GPT2_TEST_SMALL, seed=0)
+        qkv_std = float(np.std(weights.layers[0].w_qkv))
+        proj_std = float(np.std(weights.layers[0].w_attn_proj))
+        assert proj_std < qkv_std
+
+    def test_layer_norms_initialized_to_identity(self, tiny_weights):
+        layer = tiny_weights.layers[0]
+        np.testing.assert_array_equal(layer.ln1_gamma, np.ones_like(layer.ln1_gamma))
+        np.testing.assert_array_equal(layer.ln1_beta, np.zeros_like(layer.ln1_beta))
+
+
+class TestCasting:
+    def test_astype_fp16(self, tiny_weights):
+        half = tiny_weights.astype(np.float16)
+        assert half.wte.dtype == np.float16
+        assert half.layers[0].w_ffn1.dtype == np.float16
+        # Original stays float32.
+        assert tiny_weights.wte.dtype == np.float32
+
+    def test_astype_preserves_parameter_count(self, tiny_weights):
+        half = tiny_weights.astype(np.float16)
+        assert half.parameter_count() == tiny_weights.parameter_count()
+
+    def test_generate_layer_weights_independent_rng_stream(self):
+        rng = np.random.default_rng(0)
+        first = generate_layer_weights(GPT2_TEST_TINY, rng)
+        second = generate_layer_weights(GPT2_TEST_TINY, rng)
+        assert not np.array_equal(first.w_qkv, second.w_qkv)

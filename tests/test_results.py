@@ -1,0 +1,82 @@
+"""Tests for the shared InferenceResult / StageLatency containers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.results import (
+    DFX_BREAKDOWN_PHASES,
+    GPU_BREAKDOWN_PHASES,
+    InferenceResult,
+    PHASE_FFN,
+    PHASE_SELF_ATTENTION,
+    PHASE_SYNC,
+    StageLatency,
+)
+from repro.workloads import Workload
+
+
+def _result(summ_ms=100.0, gen_ms=300.0, power=180.0, flops=1e12, out_tokens=64):
+    return InferenceResult(
+        platform="dfx",
+        model_name="gpt2-1.5b",
+        workload=Workload(64, out_tokens),
+        num_devices=4,
+        summarization=StageLatency(summ_ms, {PHASE_SELF_ATTENTION: summ_ms * 0.6,
+                                             PHASE_FFN: summ_ms * 0.4}),
+        generation=StageLatency(gen_ms, {PHASE_SELF_ATTENTION: gen_ms * 0.4,
+                                         PHASE_FFN: gen_ms * 0.4,
+                                         PHASE_SYNC: gen_ms * 0.2}),
+        total_power_watts=power,
+        flops=flops,
+    )
+
+
+class TestStageLatency:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StageLatency(-1.0)
+
+    def test_merge_adds_latencies_and_breakdowns(self):
+        merged = StageLatency(10.0, {"a": 4.0}).merge(StageLatency(5.0, {"a": 1.0, "b": 2.0}))
+        assert merged.latency_ms == 15.0
+        assert merged.breakdown_ms == {"a": 5.0, "b": 2.0}
+
+
+class TestInferenceResult:
+    def test_total_latency(self):
+        assert _result().latency_ms == pytest.approx(400.0)
+        assert _result().latency_s == pytest.approx(0.4)
+
+    def test_tokens_per_second(self):
+        assert _result().tokens_per_second == pytest.approx(64 / 0.4)
+
+    def test_energy_and_tokens_per_joule(self):
+        result = _result()
+        assert result.energy_joules == pytest.approx(180.0 * 0.4)
+        assert result.tokens_per_joule == pytest.approx(64 / (180.0 * 0.4))
+
+    def test_gflops(self):
+        assert _result().gflops == pytest.approx(1e12 / 0.4 / 1e9)
+
+    def test_combined_breakdown_sums_stages(self):
+        breakdown = _result().breakdown_ms
+        assert breakdown[PHASE_SELF_ATTENTION] == pytest.approx(100 * 0.6 + 300 * 0.4)
+        assert breakdown[PHASE_SYNC] == pytest.approx(60.0)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        fractions = _result().breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_stage_gflops_split_by_token_share(self):
+        result = _result()
+        # 64 input + 64 output tokens -> equal FLOP shares.
+        assert result.summarization_gflops == pytest.approx(
+            (1e12 * 0.5) / 0.1 / 1e9
+        )
+        assert result.generation_gflops == pytest.approx((1e12 * 0.5) / 0.3 / 1e9)
+
+    def test_phase_constant_sets(self):
+        assert PHASE_SYNC in DFX_BREAKDOWN_PHASES
+        assert PHASE_SYNC not in GPU_BREAKDOWN_PHASES
+        assert len(DFX_BREAKDOWN_PHASES) == 5
+        assert len(GPU_BREAKDOWN_PHASES) == 4

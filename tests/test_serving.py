@@ -1,0 +1,172 @@
+"""Tests for the datacenter serving layer (traces, mixes, queueing simulator)."""
+
+import pytest
+
+from repro.baselines.gpu import GPUAppliance
+from repro.core.appliance import DFXAppliance
+from repro.errors import ConfigurationError
+from repro.model.config import GPT2_345M
+from repro.serving.requests import (
+    CHATBOT_MIX,
+    DATACENTER_MIX,
+    ServiceRequest,
+    WorkloadMix,
+    constant_trace,
+    poisson_trace,
+)
+from repro.serving.server import ApplianceServer, LatencyOracle, saturation_sweep
+from repro.workloads import Workload
+
+import numpy as np
+
+
+class _FixedLatencyPlatform:
+    """Test double: every request takes exactly ``latency_s`` seconds."""
+
+    def __init__(self, latency_s: float, power_watts: float = 100.0):
+        self.latency_s = latency_s
+        self.power_watts = power_watts
+
+    def run(self, workload: Workload):
+        from repro.results import InferenceResult, StageLatency
+
+        return InferenceResult(
+            platform="fixed",
+            model_name="test",
+            workload=workload,
+            num_devices=1,
+            summarization=StageLatency(self.latency_s * 1e3 / 2),
+            generation=StageLatency(self.latency_s * 1e3 / 2),
+            total_power_watts=self.power_watts,
+        )
+
+
+class TestTraces:
+    def test_poisson_trace_is_sorted_and_bounded(self):
+        trace = poisson_trace(arrival_rate_per_s=5.0, duration_s=10.0, seed=1)
+        times = [request.arrival_time_s for request in trace]
+        assert times == sorted(times)
+        assert all(0 <= time < 10.0 for time in times)
+
+    def test_poisson_trace_rate_roughly_respected(self):
+        trace = poisson_trace(arrival_rate_per_s=10.0, duration_s=100.0, seed=2)
+        assert 700 < len(trace) < 1300
+
+    def test_poisson_trace_deterministic_per_seed(self):
+        first = poisson_trace(2.0, 20.0, seed=7)
+        second = poisson_trace(2.0, 20.0, seed=7)
+        assert [r.arrival_time_s for r in first] == [r.arrival_time_s for r in second]
+
+    def test_invalid_trace_parameters(self):
+        with pytest.raises(ConfigurationError):
+            poisson_trace(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            poisson_trace(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            constant_trace(-1.0, 5)
+        with pytest.raises(ConfigurationError):
+            ServiceRequest(0, -1.0, Workload(1, 1))
+
+    def test_constant_trace(self):
+        trace = constant_trace(2.0, 3, Workload(8, 8))
+        assert [r.arrival_time_s for r in trace] == [0.0, 2.0, 4.0]
+
+
+class TestWorkloadMix:
+    def test_sampling_respects_support(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert CHATBOT_MIX.sample(rng) in CHATBOT_MIX.workloads
+
+    def test_mean_output_tokens(self):
+        mix = WorkloadMix("m", (Workload(1, 10), Workload(1, 30)), (1.0, 1.0))
+        assert mix.mean_output_tokens() == pytest.approx(20.0)
+
+    def test_invalid_mixes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix("bad", (Workload(1, 1),), (1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            WorkloadMix("bad", (), ())
+        with pytest.raises(ConfigurationError):
+            WorkloadMix("bad", (Workload(1, 1),), (0.0,))
+
+    def test_builtin_mixes_are_valid(self):
+        for mix in (CHATBOT_MIX, DATACENTER_MIX):
+            assert mix.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestQueueingSimulator:
+    def test_no_queueing_when_arrivals_are_sparse(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(interarrival_s=2.0, num_requests=5))
+        assert report.mean_queueing_delay_s == pytest.approx(0.0)
+        assert report.mean_response_time_s == pytest.approx(1.0)
+        assert report.utilization == pytest.approx(5.0 / report.makespan_s, rel=1e-6)
+
+    def test_queueing_builds_up_when_overloaded(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(interarrival_s=0.5, num_requests=10))
+        assert report.mean_queueing_delay_s > 0.5
+        # Utilization saturates at 1.0.
+        assert report.utilization == pytest.approx(1.0, abs=0.05)
+
+    def test_second_cluster_absorbs_the_overload(self):
+        trace = constant_trace(interarrival_s=0.5, num_requests=10)
+        one = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1).serve(trace)
+        two = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=2).serve(trace)
+        assert two.mean_response_time_s < one.mean_response_time_s
+        assert two.mean_queueing_delay_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_percentiles_monotone(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(0.5, 20))
+        p50 = report.response_time_percentile_s(50)
+        p95 = report.response_time_percentile_s(95)
+        p99 = report.response_time_percentile_s(99)
+        assert p50 <= p95 <= p99
+
+    def test_energy_accounting(self):
+        server = ApplianceServer(_FixedLatencyPlatform(2.0, power_watts=50.0))
+        report = server.serve(constant_trace(10.0, 4))
+        assert report.total_energy_joules == pytest.approx(4 * 2.0 * 50.0)
+        assert report.energy_per_request_joules == pytest.approx(100.0)
+
+    def test_empty_trace(self):
+        report = ApplianceServer(_FixedLatencyPlatform(1.0)).serve([])
+        assert report.num_requests == 0
+        assert report.requests_per_hour == 0.0
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ConfigurationError):
+            ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=0)
+
+
+class TestWithRealPlatformModels:
+    def test_latency_oracle_caches_results(self):
+        appliance = DFXAppliance(GPT2_345M, num_devices=1)
+        oracle = LatencyOracle(appliance)
+        first = oracle.result_for(Workload(32, 8))
+        second = oracle.result_for(Workload(32, 8))
+        assert first is second
+
+    def test_dfx_appliance_serves_more_requests_than_gpu(self):
+        trace = poisson_trace(arrival_rate_per_s=0.5, duration_s=60.0,
+                              mix=CHATBOT_MIX, seed=3)
+        dfx_report = ApplianceServer(
+            DFXAppliance(GPT2_345M, num_devices=1), platform_name="dfx"
+        ).serve(trace)
+        gpu_report = ApplianceServer(
+            GPUAppliance(GPT2_345M, num_devices=1), platform_name="gpu"
+        ).serve(trace)
+        assert dfx_report.mean_response_time_s < gpu_report.mean_response_time_s
+        assert dfx_report.output_tokens_per_second > gpu_report.output_tokens_per_second
+
+    def test_saturation_sweep_structure(self):
+        platform = _FixedLatencyPlatform(0.5)
+        reports = saturation_sweep(
+            platform,
+            trace_builder=lambda rate: poisson_trace(rate, 30.0, CHATBOT_MIX, seed=1),
+            arrival_rates=[0.5, 4.0],
+        )
+        assert set(reports) == {0.5, 4.0}
+        assert reports[4.0].mean_queueing_delay_s >= reports[0.5].mean_queueing_delay_s

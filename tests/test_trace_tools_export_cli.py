@@ -1,0 +1,156 @@
+"""Tests for trace inspection tools, JSON export, and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    comparison_grid_to_dict,
+    read_json,
+    result_to_dict,
+    write_json,
+)
+from repro.analysis.metrics import pair_results
+from repro.baselines.gpu import GPUAppliance
+from repro.cli import EXPERIMENT_RUNNERS, build_parser, main
+from repro.core.appliance import DFXAppliance
+from repro.core.dma import DMAModel
+from repro.core.mpu import MPUModel
+from repro.core.router import RouterModel
+from repro.core.scheduler import TimingScheduler
+from repro.core.trace_tools import (
+    critical_path_phases,
+    idle_gaps,
+    overlap_efficiency,
+    render_gantt,
+    unit_occupancies,
+)
+from repro.core.vpu import VPUModel
+from repro.errors import ConfigurationError
+from repro.isa.compiler import DFXCompiler
+from repro.model.config import GPT2_345M, GPT2_1_5B
+from repro.parallel.partitioner import build_partition_plan
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def traced_timing():
+    plan = build_partition_plan(GPT2_1_5B, 4)
+    program = DFXCompiler(GPT2_1_5B, plan, 0).compile_decoder_layer(1, 64)
+    scheduler = TimingScheduler(MPUModel(), VPUModel(), DMAModel(), RouterModel(4))
+    return scheduler.time_program(program, keep_traces=True)
+
+
+@pytest.fixture(scope="module")
+def untraced_timing():
+    plan = build_partition_plan(GPT2_1_5B, 4)
+    program = DFXCompiler(GPT2_1_5B, plan, 0).compile_decoder_layer(1, 64)
+    scheduler = TimingScheduler(MPUModel(), VPUModel(), DMAModel(), RouterModel(4))
+    return scheduler.time_program(program, keep_traces=False)
+
+
+class TestTraceTools:
+    def test_unit_occupancies_cover_all_units(self, traced_timing):
+        occupancies = {o.unit: o for o in unit_occupancies(traced_timing)}
+        assert {"mpu", "vpu", "dma", "router"} <= set(occupancies)
+        assert all(0 < o.utilization <= 1.0 for o in occupancies.values())
+        # The MPU is the busiest unit of a decoder layer.
+        assert occupancies["mpu"].busy_cycles == max(
+            o.busy_cycles for o in occupancies.values()
+        )
+
+    def test_untraced_timing_rejected(self, untraced_timing):
+        with pytest.raises(ConfigurationError):
+            unit_occupancies(untraced_timing)
+        with pytest.raises(ConfigurationError):
+            render_gantt(untraced_timing)
+
+    def test_idle_gaps_are_ordered_intervals(self, traced_timing):
+        gaps = idle_gaps(traced_timing, "mpu")
+        for start, end in gaps:
+            assert end > start
+        assert idle_gaps(traced_timing, "nonexistent-unit") == []
+
+    def test_render_gantt_shape(self, traced_timing):
+        chart = render_gantt(traced_timing, max_instructions=10, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 11  # header + 10 instructions
+        assert all("|" in line for line in lines[1:])
+        with pytest.raises(ConfigurationError):
+            render_gantt(traced_timing, max_instructions=0)
+
+    def test_critical_path_phases_ranked(self, traced_timing):
+        phases = critical_path_phases(traced_timing, top=3)
+        assert len(phases) == 3
+        shares = [share for _, share in phases]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_overlap_efficiency_close_to_serial_or_better(self, traced_timing):
+        # A decoder layer is dependency-dominated, so the schedule is close to
+        # serial; pipeline drain can push the ratio slightly below 1.0, real
+        # overlap pushes it above.
+        efficiency = overlap_efficiency(traced_timing)
+        assert 0.8 < efficiency < 4.0
+
+
+class TestExport:
+    def test_result_round_trip(self, tmp_path):
+        result = DFXAppliance(GPT2_345M, num_devices=1).run(Workload(32, 4))
+        payload = result_to_dict(result)
+        path = write_json(payload, tmp_path / "result.json")
+        loaded = read_json(path)
+        assert loaded["platform"] == "dfx"
+        assert loaded["workload"]["label"] == "[32:4]"
+        assert loaded["latency_ms"] == pytest.approx(result.latency_ms)
+        # The file is valid JSON (no NumPy scalars leaked through).
+        json.loads(path.read_text())
+
+    def test_comparison_grid_export(self):
+        workloads = [Workload(32, 1), Workload(32, 4)]
+        gpu = GPUAppliance(GPT2_345M, 1).run_many(workloads)
+        dfx = DFXAppliance(GPT2_345M, 1).run_many(workloads)
+        payload = comparison_grid_to_dict(pair_results(gpu, dfx))
+        assert len(payload["rows"]) == 2
+        assert payload["average_speedup"] > 0
+
+
+class TestCLI:
+    def test_parser_covers_both_commands(self):
+        parser = build_parser()
+        run_args = parser.parse_args(["run", "--model", "345m", "--devices", "1"])
+        assert run_args.command == "run"
+        experiment_args = parser.parse_args(["experiment", "figure18"])
+        assert experiment_args.name == "figure18"
+
+    def test_run_command_prints_table(self, capsys):
+        exit_code = main([
+            "run", "--model", "345m", "--devices", "1",
+            "--input", "32", "--output", "4", "--compare-gpu",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "DFX" in output and "GPU appliance" in output
+        assert "speedup" in output
+
+    def test_run_command_writes_json(self, tmp_path, capsys):
+        destination = tmp_path / "out.json"
+        exit_code = main([
+            "run", "--model", "345m", "--devices", "1",
+            "--input", "32", "--output", "4", "--json", str(destination),
+        ])
+        assert exit_code == 0
+        assert destination.exists()
+        assert read_json(destination)["model"] == "gpt2-345m"
+
+    def test_experiment_command_table1(self, capsys):
+        exit_code = main(["experiment", "table1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "gpt2-1.5b" in output
+
+    def test_experiment_registry_names(self):
+        assert {"figure14", "figure15", "table2", "accuracy"} <= set(EXPERIMENT_RUNNERS)
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])

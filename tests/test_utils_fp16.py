@@ -1,0 +1,63 @@
+"""Unit tests for repro.utils.fp16."""
+
+import numpy as np
+import pytest
+
+from repro.utils import fp16
+
+
+class TestToFp16:
+    def test_returns_float16_dtype(self):
+        result = fp16.to_fp16(np.array([1.0, 2.5, -3.25]))
+        assert result.dtype == np.float16
+
+    def test_rounds_to_half_precision_grid(self):
+        # 1/3 is not representable in binary16; rounding must change the value.
+        value = fp16.to_fp16(1.0 / 3.0)
+        assert float(value) != 1.0 / 3.0
+        assert abs(float(value) - 1.0 / 3.0) < 1e-3
+
+    def test_overflow_saturates_to_inf(self):
+        assert np.isinf(fp16.to_fp16(1e9))
+
+
+class TestFp16Arithmetic:
+    def test_matmul_matches_float32_within_tolerance(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(8, 16)).astype(np.float16)
+        b = rng.normal(size=(16, 4)).astype(np.float16)
+        reference = a.astype(np.float32) @ b.astype(np.float32)
+        result = fp16.fp16_matmul(a, b)
+        assert result.dtype == np.float16
+        np.testing.assert_allclose(result.astype(np.float32), reference, atol=2e-2)
+
+    def test_add_and_mul_round_to_fp16(self):
+        a = np.array([1.0009765625], dtype=np.float32)
+        b = np.array([1.0], dtype=np.float32)
+        assert fp16.fp16_add(a, b).dtype == np.float16
+        assert fp16.fp16_mul(a, b).dtype == np.float16
+
+
+class TestQuantizationError:
+    def test_zero_for_identical_arrays(self):
+        data = np.arange(10, dtype=np.float32)
+        assert fp16.quantization_error(data, data) == 0.0
+
+    def test_positive_for_quantized_copy(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=1000).astype(np.float32) * 1e-3
+        quantized = fp16.to_fp16(data).astype(np.float32)
+        error = fp16.quantization_error(data, quantized)
+        assert error > 0.0
+        assert error < 1e-5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fp16.quantization_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_arrays(self):
+        assert fp16.quantization_error(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_constants_match_numpy(self):
+        assert fp16.FP16_MAX == pytest.approx(65504.0)
+        assert fp16.FP16_MIN_NORMAL == pytest.approx(6.103515625e-05)

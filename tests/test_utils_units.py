@@ -1,0 +1,46 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils import units
+
+
+class TestByteConversions:
+    def test_bytes_to_gib(self):
+        assert units.bytes_to_gib(units.GIBI) == pytest.approx(1.0)
+        assert units.bytes_to_gib(8 * units.GIBI) == pytest.approx(8.0)
+
+    def test_bytes_to_mib(self):
+        assert units.bytes_to_mib(units.MEBI) == pytest.approx(1.0)
+
+    def test_gbps_round_trip(self):
+        bytes_per_second = units.gbps_to_bytes_per_second(100.0)
+        assert bytes_per_second == pytest.approx(12.5e9)
+        assert units.bytes_per_second_to_gbps(bytes_per_second) == pytest.approx(100.0)
+
+
+class TestCycleConversions:
+    def test_cycles_to_seconds_at_200mhz(self):
+        assert units.cycles_to_seconds(200_000_000, 200e6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_inverse(self):
+        cycles = 12_345.0
+        seconds = units.cycles_to_seconds(cycles, 200e6)
+        assert units.seconds_to_cycles(seconds, 200e6) == pytest.approx(cycles)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(100, 0)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, -1)
+
+
+class TestTimeConversions:
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(0.25) == pytest.approx(250.0)
+
+    def test_ms_to_seconds_round_trip(self):
+        assert units.ms_to_seconds(units.seconds_to_ms(3.5)) == pytest.approx(3.5)
+
+    def test_seconds_to_us(self):
+        assert units.seconds_to_us(1e-6) == pytest.approx(1.0)
