@@ -1,0 +1,67 @@
+"""Hot-path engine benchmarks: steady-state decode throughput.
+
+Not a paper figure: these benches track the fast-path execution engine —
+compiled-program caching, linked segment execution, shared lockstep prefixes,
+and preallocated KV buffers — whose steady-state tokens/sec gate every
+end-to-end experiment in the repo.  ``scripts/bench_hotpath.py`` is the
+scriptable twin that maintains the committed ``BENCH_hotpath.json`` baseline;
+this module plugs the same measurements into pytest-benchmark for local
+comparisons.
+"""
+
+from _bench_helpers import print_header
+
+from repro.core.functional import DFXFunctionalSimulator
+from repro.model.config import GPT2_TEST_TINY
+from repro.model.generation import TextGenerator
+from repro.model.gpt2 import GPT2Model
+from repro.model.numerics import FP16_DFX
+from repro.model.weights import generate_weights
+
+PROMPT = [5, 111, 42, 7]
+NEW_TOKENS = 64
+
+
+def test_bench_functional_generate_64(benchmark):
+    """64-token greedy generation on the functional simulator (4 devices)."""
+    weights = generate_weights(GPT2_TEST_TINY, seed=7)
+    simulator = DFXFunctionalSimulator(weights, num_devices=4, numerics=FP16_DFX)
+    simulator.generate(PROMPT, max_new_tokens=2)  # warm program/link caches
+
+    def generate():
+        simulator.reset_cache()
+        return simulator.generate(PROMPT, max_new_tokens=NEW_TOKENS)
+
+    tokens = benchmark.pedantic(generate, rounds=5, iterations=1)
+    rate = NEW_TOKENS / benchmark.stats.stats.min
+    print_header("Functional-simulator decode hot path (tiny, 4 devices)")
+    print(f"steady-state generation: {rate:.1f} tokens/s")
+    assert len(tokens) == NEW_TOKENS
+
+
+def test_bench_reference_generate_64(benchmark):
+    """64-token greedy generation on the reference GPT-2 model."""
+    weights = generate_weights(GPT2_TEST_TINY, seed=7)
+    generator = TextGenerator(GPT2Model(weights, numerics=FP16_DFX))
+    generator.generate_tokens(PROMPT, max_new_tokens=2)  # warm numpy caches
+
+    result = benchmark.pedantic(
+        generator.generate_tokens,
+        args=(PROMPT, NEW_TOKENS),
+        rounds=5,
+        iterations=1,
+    )
+    rate = NEW_TOKENS / benchmark.stats.stats.min
+    print_header("Reference-model decode hot path (tiny)")
+    print(f"steady-state generation: {rate:.1f} tokens/s")
+    assert len(result.output_token_ids) == NEW_TOKENS
+
+
+def test_bench_program_cache_decode_step(benchmark):
+    """Fetching the cached decode-step program must be O(dict lookup)."""
+    weights = generate_weights(GPT2_TEST_TINY, seed=7)
+    simulator = DFXFunctionalSimulator(weights, num_devices=2, numerics=FP16_DFX)
+    first = simulator.compiler.compile_decoder_step()
+
+    program = benchmark(simulator.compiler.compile_decoder_step)
+    assert program is first  # cache hit returns the identical object

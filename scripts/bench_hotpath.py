@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Hot-path throughput benchmark and perf-regression gate.
+
+Times greedy generation (tokens/sec) for the two decode engines the repo
+cares about — the DFX functional simulator and the reference GPT-2 model —
+at several generation lengths, and writes the results to
+``BENCH_hotpath.json`` at the repo root.  That file is the committed perf
+baseline: ``--check`` re-measures and fails (exit 1) when any engine regresses
+by more than the tolerance (default 30%), which CI can run as a smoke gate.
+
+Methodology: each measurement reports the best of ``--repeats`` runs on a
+freshly constructed engine, after one warm-up generation that populates the
+program/link caches (steady-state throughput is the quantity the paper's
+generation-stage analysis is about; the caches are per-process one-time cost).
+
+Examples::
+
+    PYTHONPATH=src python scripts/bench_hotpath.py             # refresh baseline
+    PYTHONPATH=src python scripts/bench_hotpath.py --check     # regression gate
+    PYTHONPATH=src python scripts/bench_hotpath.py --tokens 16 64 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.functional import DFXFunctionalSimulator  # noqa: E402
+from repro.model.config import GPT2_TEST_SMALL, GPT2_TEST_TINY  # noqa: E402
+from repro.model.generation import TextGenerator  # noqa: E402
+from repro.model.gpt2 import GPT2Model  # noqa: E402
+from repro.model.numerics import FP16_DFX  # noqa: E402
+from repro.model.weights import generate_weights  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+CONFIGS = {"tiny": GPT2_TEST_TINY, "small": GPT2_TEST_SMALL}
+PROMPT = [5, 111, 42, 7]
+
+
+def _time_best(factory, new_tokens: int, repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` fresh engines (post warm-up)."""
+    best = float("inf")
+    for _ in range(repeats):
+        generate, reset = factory()
+        generate(2)  # warm program / link / weight-staging caches
+        reset()
+        start = time.perf_counter()
+        generate(new_tokens)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _functional_factory(weights, num_devices):
+    def factory():
+        simulator = DFXFunctionalSimulator(
+            weights, num_devices=num_devices, numerics=FP16_DFX
+        )
+        generate = lambda n: simulator.generate(PROMPT, max_new_tokens=n)  # noqa: E731
+        reset = getattr(simulator, "reset_cache", None)
+        if reset is None:  # pre-optimization engine: fresh state per request
+            def reset():
+                simulator.__init__(weights, num_devices=num_devices, numerics=FP16_DFX)
+        return generate, reset
+    return factory
+
+
+def _reference_factory(weights):
+    def factory():
+        generator = TextGenerator(GPT2Model(weights, numerics=FP16_DFX))
+        # generate_tokens builds a fresh cache per call; nothing to reset.
+        return (
+            lambda n: generator.generate_tokens(PROMPT, max_new_tokens=n),
+            lambda: None,
+        )
+    return factory
+
+
+def run_benchmark(config_name: str, tokens: list[int], repeats: int,
+                  num_devices: int) -> dict:
+    """Measure both engines at every generation length."""
+    config = CONFIGS[config_name]
+    weights = generate_weights(config, seed=7)
+    engines = {
+        "functional-sim": _functional_factory(weights, num_devices),
+        "reference-model": _reference_factory(weights),
+    }
+    entries = []
+    for engine_name, factory in engines.items():
+        for new_tokens in tokens:
+            if len(PROMPT) + new_tokens + 2 > config.n_positions:
+                print(f"  skip {engine_name} @ {new_tokens}: exceeds context")
+                continue
+            seconds = _time_best(factory, new_tokens, repeats)
+            rate = new_tokens / seconds
+            entries.append({
+                "engine": engine_name,
+                "new_tokens": new_tokens,
+                "seconds": round(seconds, 6),
+                "tokens_per_second": round(rate, 1),
+            })
+            print(f"  {engine_name:16s} {new_tokens:4d} tokens: "
+                  f"{seconds * 1e3:8.2f} ms  {rate:9.1f} tok/s")
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": config_name,
+        "model": config.name,
+        "num_devices": num_devices,
+        "prompt_tokens": len(PROMPT),
+        "repeats": repeats,
+        "entries": entries,
+    }
+
+
+def embed_baseline(report: dict, baseline_path: Path) -> None:
+    """Attach pre-optimization numbers (same schema) and speedups in place."""
+    baseline = json.loads(baseline_path.read_text())
+    reference = {
+        (entry["engine"], entry["new_tokens"]): entry["tokens_per_second"]
+        for entry in baseline.get("entries", [])
+    }
+    for entry in report["entries"]:
+        key = (entry["engine"], entry["new_tokens"])
+        if key in reference:
+            entry["baseline_tokens_per_second"] = reference[key]
+            entry["speedup"] = round(entry["tokens_per_second"] / reference[key], 2)
+
+
+def check_regression(report: dict, committed_path: Path, tolerance: float) -> int:
+    """Compare a fresh measurement against the committed baseline.
+
+    Returns a process exit code: 0 when every engine is within ``tolerance``
+    of its committed tokens/sec, 1 otherwise (or when the baseline is absent).
+    """
+    if not committed_path.exists():
+        print(f"ERROR: no committed baseline at {committed_path}")
+        return 1
+    committed = json.loads(committed_path.read_text())
+    reference = {
+        (entry["engine"], entry["new_tokens"]): entry["tokens_per_second"]
+        for entry in committed.get("entries", [])
+    }
+    failures = []
+    compared = 0
+    for entry in report["entries"]:
+        key = (entry["engine"], entry["new_tokens"])
+        if key not in reference:
+            continue
+        compared += 1
+        floor = reference[key] * (1.0 - tolerance)
+        if entry["tokens_per_second"] < floor:
+            failures.append(
+                f"{key[0]} @ {key[1]} tokens: {entry['tokens_per_second']:.1f} tok/s "
+                f"< floor {floor:.1f} (committed {reference[key]:.1f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    if failures:
+        print("PERF REGRESSION DETECTED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    if compared == 0:
+        print("ERROR: no measured entry matches the committed baseline "
+              "(config/tokens mismatch?) — nothing was checked")
+        return 1
+    print(f"perf check OK: {compared} entries within {tolerance:.0%} of the baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    def positive(value: str) -> int:
+        parsed = int(value)
+        if parsed <= 0:
+            raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+        return parsed
+
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="tiny")
+    parser.add_argument("--tokens", type=positive, nargs="+", default=[16, 32, 64])
+    parser.add_argument("--repeats", type=positive, default=3)
+    parser.add_argument("--num-devices", type=int, default=4,
+                        help="cluster size (default 4, the paper's primary setup)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the benchmark JSON")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="embed pre-optimization numbers from this JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline instead "
+                             "of overwriting it; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional tokens/sec drop in --check mode")
+    args = parser.parse_args(argv)
+
+    print(f"hot-path benchmark: config={args.config}, "
+          f"devices={args.num_devices}, repeats={args.repeats}")
+    report = run_benchmark(args.config, args.tokens, args.repeats, args.num_devices)
+
+    if args.check:
+        return check_regression(report, args.output, args.tolerance)
+
+    if args.baseline is not None:
+        embed_baseline(report, args.baseline)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

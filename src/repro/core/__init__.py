@@ -24,6 +24,9 @@ from repro.core.appliance import DFXAppliance, DFX_PLATFORM
 from repro.core.functional import (
     DFXFunctionalSimulator,
     FunctionalCore,
+    GrowableKV,
+    LinkedProgram,
+    link_program,
     split_at_syncs,
 )
 
@@ -60,5 +63,8 @@ __all__ = [
     "DFX_PLATFORM",
     "DFXFunctionalSimulator",
     "FunctionalCore",
+    "GrowableKV",
+    "LinkedProgram",
+    "link_program",
     "split_at_syncs",
 ]

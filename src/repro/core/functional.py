@@ -7,6 +7,36 @@ NumPy buffers; :class:`DFXFunctionalSimulator` runs all devices of a cluster
 in lockstep, implementing the ring synchronizations by gathering the devices'
 partial vectors in core-ID order (the router's reorder unit, Fig. 11).
 
+Two execution paths share one set of instruction semantics:
+
+* the **slow path** (:meth:`FunctionalCore.execute_instruction`) dispatches on
+  instruction type per instruction — simple, and the reference for audits;
+* the **fast path** (:func:`link_program` + :class:`LinkedProgram`) links a
+  program once: each sync-free instruction run is compiled into a single
+  generated Python function with buffer names lowered to locals and constant
+  operands pre-bound, so lockstep layer execution pays no per-instruction
+  dispatch.  The linker also splits every run into a *shared prefix*
+  (instructions whose inputs are identical on all devices — LayerNorms,
+  residuals — executed once on core 0 and shared by reference) and a
+  per-core body.  Linked programs are memoized on the :class:`Program`
+  object, and the compiler's own program cache means a whole ``generate()``
+  call links each program exactly once.
+
+**Bit-exactness contract:** the fast path must produce bit-identical buffers
+to the slow path.  Every fast-path shortcut is a proven identity: generated
+code fuses the slow path's FP16→FP32 conversion chains into ufunc
+``dtype=float32`` calls that convert elementwise identically; the causal
+mask is elided only when it admits every key (a single query row always
+attends to the whole cache, and FP16→FP32→FP16 round-trips are exact); the
+KV cache appends into a capacity-doubling preallocated buffer
+(:class:`GrowableKV`) whose logical view holds exactly the rows the slow
+path's ``np.concatenate`` would have produced; persistent weights are staged
+upcast to the FP32 accumulation dtype (exact, since they were already
+quantized); and the output-scatter path writes in place only into buffers it
+exclusively owns.  The functional-vs-reference integration tests — and the
+fast-vs-slow register comparison in ``tests/test_fastpath_engine.py`` — are
+the oracle for this contract.
+
 The simulator is verified against the reference :class:`repro.model.GPT2Model`
 in the integration tests: with the same weights and numerics it must produce
 matching logits, which exercises the compiler, the partitioner, the KV-cache
@@ -16,7 +46,7 @@ handling, and the value-first reordering end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, NamedTuple
 
 import numpy as np
 
@@ -45,6 +75,59 @@ from repro.parallel.partitioner import (
 #: Type of the callback the cluster provides to resolve ring synchronizations.
 SyncHandler = Callable[[RouterInstruction, np.ndarray], np.ndarray]
 
+#: Type of a linked (pre-bound) instruction handler.
+Handler = Callable[["FunctionalCore"], None]
+
+#: Smallest KV-cache capacity allocated by :class:`GrowableKV`.
+_KV_MIN_CAPACITY = 8
+
+
+class GrowableKV:
+    """An HBM KV-cache buffer with amortized-O(1) row appends.
+
+    Rows live in a preallocated ``(capacity, cols)`` array with a logical
+    ``length``; appends write in place and double the capacity when it runs
+    out, so a generation run of *n* tokens costs O(n) row copies instead of
+    the O(n²) a per-token ``np.concatenate`` pays.  Readers get the logical
+    view (``data[:length]``), which is bit-identical to the concatenated
+    array of every appended row.
+    """
+
+    __slots__ = ("data", "length")
+
+    def __init__(self, cols: int, dtype: np.dtype, reserve: int = 0) -> None:
+        capacity = max(int(reserve), _KV_MIN_CAPACITY)
+        self.data = np.empty((capacity, cols), dtype=dtype)
+        self.length = 0
+
+    @property
+    def capacity(self) -> int:
+        """Allocated row capacity (>= length)."""
+        return int(self.data.shape[0])
+
+    def view(self) -> np.ndarray:
+        """The logical contents: the first ``length`` rows."""
+        return self.data[: self.length]
+
+    def reserve(self, minimum: int) -> None:
+        """Grow capacity to at least ``minimum`` rows, keeping contents."""
+        if minimum > self.data.shape[0]:
+            grown = np.empty((minimum, self.data.shape[1]), dtype=self.data.dtype)
+            grown[: self.length] = self.data[: self.length]
+            self.data = grown
+
+    def append(self, rows: np.ndarray) -> None:
+        """Append ``(n, cols)`` rows, doubling capacity when needed."""
+        count = rows.shape[0]
+        needed = self.length + count
+        if needed > self.data.shape[0]:
+            new_capacity = max(self.data.shape[0] * 2, needed)
+            grown = np.empty((new_capacity, self.data.shape[1]), dtype=self.data.dtype)
+            grown[: self.length] = self.data[: self.length]
+            self.data = grown
+        self.data[self.length : needed] = rows
+        self.length = needed
+
 
 @dataclass
 class FunctionalCore:
@@ -53,12 +136,21 @@ class FunctionalCore:
     Attributes:
         numerics: Precision mode (FP16 + LUT GELU for the DFX pipeline).
         registers: The register file: buffer name -> 2-D array (rows, length).
-        memory: Off-chip memory: weights, KV cache, embedding rows.
+        memory: Off-chip memory: weights, KV cache (:class:`GrowableKV` once
+            written), embedding rows.
+        kv_reserve: Row capacity to preallocate when a KV buffer is first
+            written (a generation run reserves prompt + new tokens up front).
     """
 
     numerics: Numerics = FP16_DFX
     registers: dict[str, np.ndarray] = field(default_factory=dict)
     memory: dict[str, np.ndarray] = field(default_factory=dict)
+    kv_reserve: int = 0
+    # Output-scatter buffers this core allocated itself and may mutate in
+    # place (identity-checked against the register file before reuse).
+    _scatter_buffers: dict[str, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # ------------------------------------------------------------------ helpers
     def _read_register(self, name: str) -> np.ndarray:
@@ -67,15 +159,80 @@ class FunctionalCore:
         return self.registers[name]
 
     def _read_any(self, name: str) -> np.ndarray:
-        if name in self.registers:
-            return self.registers[name]
-        if name in self.memory:
-            return self.memory[name]
-        raise ExecutionError(f"buffer {name!r} not found in registers or memory")
+        value = self.registers.get(name)
+        if value is not None:
+            return value
+        value = self.memory.get(name)
+        if value is None:
+            raise ExecutionError(f"buffer {name!r} not found in registers or memory")
+        if type(value) is GrowableKV:
+            return value.view()
+        return value
 
     @staticmethod
     def _as_2d(array: np.ndarray) -> np.ndarray:
         return array if array.ndim == 2 else array.reshape(1, -1)
+
+    def _scatter_value(
+        self,
+        dst: str,
+        current: np.ndarray | None,
+        result: np.ndarray,
+        total_cols: int,
+        col_offset: int,
+    ) -> np.ndarray:
+        """Write ``result`` into the column window of the ``dst`` accumulator.
+
+        ``current`` is the register's present value (or ``None``).  Allocates
+        the ``(rows, total_cols)`` buffer on first touch and then writes in
+        place for every further head: copying is only needed when the register
+        holds an array this core did not allocate itself (and might therefore
+        alias another buffer).  Returns the buffer to store back in ``dst``.
+        """
+        rows = result.shape[0]
+        if current is None or current.shape != (rows, total_cols):
+            buffer = np.zeros((rows, total_cols), dtype=self.numerics.dtype)
+            self._scatter_buffers[dst] = buffer
+        elif self._scatter_buffers.get(dst) is current:
+            buffer = current
+        else:
+            buffer = current.copy()
+            self._scatter_buffers[dst] = buffer
+        buffer[:, col_offset : col_offset + result.shape[1]] = result
+        return buffer
+
+    def _scatter_write(
+        self, dst: str, result: np.ndarray, total_cols: int, col_offset: int
+    ) -> None:
+        """Scatter ``result`` into ``registers[dst]`` (slow-path entry)."""
+        self.registers[dst] = self._scatter_value(
+            dst, self.registers.get(dst), result, total_cols, col_offset
+        )
+
+    def _append_kv(self, dst: str, source: np.ndarray) -> None:
+        """Append KV rows to ``memory[dst]``, converting it to a GrowableKV.
+
+        The buffer is kept in the matmul accumulation dtype (FP32 for the DFX
+        pipeline): the appended rows are already quantized register values, so
+        the upcast is exact and the attention matmuls skip their per-token
+        weight conversion.
+        """
+        buffer = self.memory.get(dst)
+        if type(buffer) is GrowableKV:
+            buffer.append(source)
+            return
+        dtype = (
+            np.dtype(np.float32)
+            if self.numerics.accumulate_fp32
+            else self.numerics.dtype
+        )
+        if buffer is None or buffer.size == 0:
+            grown = GrowableKV(source.shape[1], dtype, reserve=self.kv_reserve)
+        else:
+            grown = GrowableKV(buffer.shape[1], dtype, reserve=self.kv_reserve)
+            grown.append(buffer)
+        grown.append(source)
+        self.memory[dst] = grown
 
     # -------------------------------------------------------------- instructions
     def _execute_matrix(self, instruction: MatrixInstruction) -> None:
@@ -111,16 +268,12 @@ class FunctionalCore:
             )
 
         if instruction.dst_total_cols is not None:
-            rows = result.shape[0]
-            existing = self.registers.get(instruction.dst)
-            if existing is None or existing.shape != (rows, instruction.dst_total_cols):
-                existing = np.zeros(
-                    (rows, instruction.dst_total_cols), dtype=self.numerics.dtype
-                )
-            existing = existing.copy()
-            start = instruction.dst_col_offset
-            existing[:, start : start + result.shape[1]] = result
-            self.registers[instruction.dst] = existing
+            self._scatter_write(
+                instruction.dst,
+                result,
+                instruction.dst_total_cols,
+                instruction.dst_col_offset,
+            )
         else:
             self.registers[instruction.dst] = result
 
@@ -179,13 +332,7 @@ class FunctionalCore:
             if instruction.col_count is not None:
                 start = instruction.col_offset
                 source = source[:, start : start + instruction.col_count]
-            existing = self.memory.get(instruction.dst)
-            if existing is None or existing.size == 0:
-                self.memory[instruction.dst] = source.astype(self.numerics.dtype)
-            else:
-                self.memory[instruction.dst] = np.concatenate(
-                    [existing, source.astype(existing.dtype)], axis=0
-                )
+            self._append_kv(instruction.dst, source)
             return
         if opcode is DMAOpcode.STORE_OUTPUT:
             self.memory[instruction.dst] = self._read_register(instruction.src).copy()
@@ -195,13 +342,24 @@ class FunctionalCore:
     # ------------------------------------------------------------------ execute
     def execute(self, program: Program, sync_handler: SyncHandler | None = None) -> None:
         """Execute ``program``; ring syncs are resolved through ``sync_handler``."""
-        for instruction in program.instructions:
-            self.execute_instruction(instruction, sync_handler)
+        linked = link_program(program, self.numerics)
+        for prefix, _, body, sync in linked.segments:
+            if prefix is not None:
+                prefix(self)
+            if body is not None:
+                body(self)
+            if sync is not None:
+                if sync_handler is None:
+                    raise ExecutionError(
+                        "router instruction encountered without a sync handler"
+                    )
+                local = self._read_register(sync.src)
+                self.registers[sync.dst] = sync_handler(sync, local)
 
     def execute_instruction(
         self, instruction: Instruction, sync_handler: SyncHandler | None = None
     ) -> None:
-        """Execute a single instruction."""
+        """Execute a single instruction (slow-path dispatch)."""
         if isinstance(instruction, MatrixInstruction):
             self._execute_matrix(instruction)
         elif isinstance(instruction, VectorInstruction):
@@ -223,25 +381,578 @@ def split_at_syncs(program: Program) -> list[tuple[list[Instruction], RouterInst
     """Split a program into segments ending at each router instruction.
 
     Returns a list of ``(segment_instructions, sync_or_None)`` pairs; the last
-    pair's sync is ``None`` when the program does not end with a sync.
+    pair's sync is ``None`` when the program does not end with a sync.  Thin
+    compatibility wrapper over the memoized :meth:`Program.segments`.
     """
-    segments: list[tuple[list[Instruction], RouterInstruction | None]] = []
-    current: list[Instruction] = []
-    for instruction in program.instructions:
-        if isinstance(instruction, RouterInstruction):
-            segments.append((current, instruction))
-            current = []
+    return [(list(segment.instructions), segment.sync) for segment in program.segments()]
+
+
+# ----------------------------------------------------------------- linking pass
+class _SegmentCompiler:
+    """Compiles one sync-free instruction run into a single Python function.
+
+    This is the linking pass: buffer *names* become function-local variables,
+    constant operands (dtypes, scales, bound numerics methods) become default
+    parameters, and the per-instruction dispatch disappears entirely.  The
+    generated code emits exactly the NumPy expressions of the slow path (or a
+    proven-identical fusion of them — see the module docstring), so the fast
+    path stays bit-exact.
+
+    Register reads are materialized lazily at their first use site (with the
+    slow path's "read before definition" error), and every register written
+    by the segment is stored back to the core's register file in the
+    epilogue, so state observed between segments — by ring syncs and by
+    callers of :meth:`FunctionalCore.execute` — is unchanged.
+    """
+
+    _BASE_NAMESPACE = {
+        "_np": np,
+        "_asarray": np.asarray,
+        "_f32": np.dtype(np.float32),
+        "_one": np.float32(1.0),
+        "_MASK_VALUE": MASK_VALUE,
+        "ExecutionError": ExecutionError,
+        "GrowableKV": GrowableKV,
+    }
+
+    _BINARY_UFUNCS = {
+        VectorOpcode.ADD: "_np.add",
+        VectorOpcode.SUB: "_np.subtract",
+        VectorOpcode.MUL: "_np.multiply",
+    }
+
+    def __init__(self, numerics: Numerics) -> None:
+        self.numerics = numerics
+        self.lines: list[str] = []
+        self.consts: dict[str, object] = {}
+        self.registers_vars: dict[str, str] = {}
+        self.defined: set[str] = set()
+        self.loaded: set[str] = set()
+        self.temp_count = 0
+        # Common-subexpression cache for register-derived views/conversions,
+        # keyed ("2d"|"f32", register name); invalidated when the register is
+        # rewritten.  Conversions are pure, so reuse is bit-exact.
+        self._cse: dict[tuple[str, str], str] = {}
+        self.out_dtype = self.const(numerics.dtype)
+        compute = np.dtype(np.float32) if numerics.accumulate_fp32 else numerics.dtype
+        self.compute_dtype = self.const(compute)
+
+    # ---------------------------------------------------------------- plumbing
+    def const(self, value: object) -> str:
+        name = f"_k{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    def temp(self) -> str:
+        self.temp_count += 1
+        return f"_t{self.temp_count}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def _register_var(self, register: str) -> str:
+        if register not in self.registers_vars:
+            self.registers_vars[register] = f"_r{len(self.registers_vars)}"
+        return self.registers_vars[register]
+
+    def _invalidate(self, register: str) -> None:
+        """Drop memoized views/conversions derived from ``register``."""
+        self._cse.pop(("2d", register), None)
+        self._cse.pop(("f32", register), None)
+
+    def read_register(self, register: str) -> str:
+        """Variable holding ``register``, loading it on first read."""
+        var = self._register_var(register)
+        if register in self.defined or register in self.loaded:
+            return var
+        message = self.const(f"register buffer {register!r} read before definition")
+        self.emit(f"{var} = _registers.get({register!r})")
+        self.emit(f"if {var} is None:")
+        self.emit(f"    raise ExecutionError({message})")
+        self.loaded.add(register)
+        return var
+
+    def read_any(self, name: str) -> str:
+        """Variable holding a register-or-memory operand (weights, biases)."""
+        if name in self.defined or name in self.loaded:
+            return self._register_var(name)
+        var = self.temp()
+        message = self.const(f"buffer {name!r} not found in registers or memory")
+        self.emit(f"{var} = _registers.get({name!r})")
+        self.emit(f"if {var} is None:")
+        self.emit(f"    {var} = _memory.get({name!r})")
+        self.emit(f"    if {var} is None:")
+        self.emit(f"        raise ExecutionError({message})")
+        self.emit(f"    if {var}.__class__ is GrowableKV:")
+        self.emit(f"        {var} = {var}.view()")
+        return var
+
+    def write_register(self, register: str) -> str:
+        var = self._register_var(register)
+        self.defined.add(register)
+        self._invalidate(register)
+        return var
+
+    def as_2d(self, register: str) -> str:
+        """Variable holding ``register`` viewed as 2-D (memoized)."""
+        key = ("2d", register)
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        var = self.read_register(register)
+        out = self.temp()
+        self.emit(f"{out} = {var} if {var}.ndim == 2 else {var}.reshape(1, -1)")
+        self._cse[key] = out
+        return out
+
+    def as_compute(self, register: str) -> str:
+        """Variable holding ``register`` as 2-D in the compute dtype (memoized).
+
+        Conversion before column-slicing is elementwise, so converting the
+        full operand once and slicing the converted view is bit-identical to
+        converting each slice — and lets all heads share one conversion.
+        """
+        key = ("f32", register)
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        base = self.as_2d(register)
+        out = self.temp()
+        self.emit(f"{out} = _asarray({base}, dtype={self.compute_dtype})")
+        self._cse[key] = out
+        return out
+
+    # ------------------------------------------------------------ instructions
+    def add_matrix(self, instruction: MatrixInstruction) -> None:
+        operand = self.as_compute(instruction.input_operand)
+        if instruction.input_col_count is not None:
+            start = instruction.input_col_offset
+            stop = start + instruction.input_col_count
+            sliced = self.temp()
+            self.emit(f"{sliced} = {operand}[:, {start}:{stop}]")
+            operand = sliced
+        weight = self.read_any(instruction.weight_operand)
+        transpose = (
+            instruction.opcode is MatrixOpcode.MASKED_MM or instruction.transpose_weight
+        )
+        if transpose:
+            transposed = self.temp()
+            self.emit(f"{transposed} = {weight}.T")
+            weight = transposed
+        result = self.temp()
+        # Persistent weights are staged in the compute dtype already; the
+        # guard skips a no-op asarray call on the hot path.  The converted
+        # value lands in a fresh temp so a register-sourced weight is never
+        # rebound (the epilogue must store the original register value).
+        converted = self.temp()
+        self.emit(
+            f"{converted} = {weight} if {weight}.dtype is {self.compute_dtype}"
+            f" else _asarray({weight}, dtype={self.compute_dtype})"
+        )
+        self.emit(
+            f"{result} = ({operand} @ {converted}).astype({self.out_dtype})"
+        )
+        if instruction.bias_operand:
+            bias = self.read_any(instruction.bias_operand)
+            self.emit(
+                f"{result} = _np.add({result}, {bias}, dtype=_f32)"
+                f".astype({self.out_dtype})"
+            )
+        if instruction.scale is not None:
+            scale = self.const(np.float32(instruction.scale))
+            self.emit(
+                f"{result} = _np.multiply({result}, {scale}, dtype=_f32)"
+                f".astype({self.out_dtype})"
+            )
+        if instruction.apply_mask:
+            # When every key position is admitted (always the case for a
+            # single query row over its own cache) the masked product equals
+            # the unmasked one bit for bit, so the where/cast is skipped.
+            offset = instruction.mask_offset
+            cast = self.const(self.numerics.cast)
+            self.emit(f"_rows, _cols = {result}.shape")
+            self.emit(f"if {offset} < _cols - 1:")
+            self.emit(f"    _query = _np.arange(_rows)[:, None] + {offset}")
+            self.emit(f"    _allowed = _np.arange(_cols)[None, :] <= _query")
+            self.emit(
+                f"    {result} = {cast}(_np.where(_allowed,"
+                f" _asarray({result}, dtype=_f32), _MASK_VALUE))"
+            )
+        if instruction.apply_gelu:
+            activation = self.const(self.numerics.activation)
+            self.emit(f"{result} = {activation}({result})")
+        if instruction.apply_redu_max and instruction.redu_max_dst:
+            # max only compares (never rounds), so it commutes with the slow
+            # path's FP32 round trip.
+            redu = self.write_register(instruction.redu_max_dst)
+            self.emit(f"{redu} = {result}.max(axis=-1, keepdims=True)")
+        if instruction.dst_total_cols is not None:
+            dst = instruction.dst
+            if dst in self.defined or dst in self.loaded:
+                current = self._register_var(dst)
+            else:
+                current = f"_registers.get({dst!r})"
+            var = self.write_register(dst)
+            self.emit(
+                f"{var} = _scatter_value({dst!r}, {current}, {result},"
+                f" {instruction.dst_total_cols}, {instruction.dst_col_offset})"
+            )
         else:
-            current.append(instruction)
-    segments.append((current, None))
-    return segments
+            self.emit(f"{self.write_register(instruction.dst)} = {result}")
+
+    def add_vector(self, instruction: VectorInstruction) -> None:
+        opcode = instruction.opcode
+        if opcode is VectorOpcode.LOAD:
+            # LayerNorm gamma/beta loads re-cast the same static array every
+            # step; memoize the cast per source-array identity (no handler
+            # ever mutates a register array in place, so sharing is safe).
+            source = self.read_any(instruction.src1)
+            cache = self.const({})
+            var = self.write_register(instruction.dst)
+            self.emit(f"_entry = {cache}.get(id({source}))")
+            self.emit(f"if _entry is not None and _entry[0] is {source}:")
+            self.emit(f"    {var} = _entry[1]")
+            self.emit("else:")
+            self.emit(f"    {var} = _asarray({source}).astype({self.out_dtype})")
+            self.emit(f"    {cache}[id({source})] = ({source}, {var})")
+            return
+        if opcode is VectorOpcode.STORE:
+            source = self.read_register(instruction.src1)
+            self.emit(f"_memory[{instruction.dst!r}] = {source}.copy()")
+            return
+        source = self.read_register(instruction.src1)
+        var = self.write_register(instruction.dst)
+        if opcode is VectorOpcode.ACCUM:
+            self.emit(
+                f"{var} = _asarray({source}, dtype=_f32)"
+                f".sum(axis=-1, keepdims=True).astype({self.out_dtype})"
+            )
+            return
+        if opcode is VectorOpcode.EXP:
+            self.emit(f"{var} = _np.exp({source}, dtype=_f32).astype({self.out_dtype})")
+            return
+        if opcode is VectorOpcode.RECIP:
+            self.emit(
+                f"{var} = _np.divide(_one, {source}, dtype=_f32)"
+                f".astype({self.out_dtype})"
+            )
+            return
+        if opcode is VectorOpcode.RECIP_SQRT:
+            self.emit(
+                f"{var} = _np.divide(_one, _np.sqrt({source}, dtype=_f32),"
+                f" dtype=_f32).astype({self.out_dtype})"
+            )
+            return
+        try:
+            ufunc = self._BINARY_UFUNCS[opcode]
+        except KeyError:  # pragma: no cover - defensive
+            raise ExecutionError(f"unsupported vector opcode {opcode.value}") from None
+        if instruction.src2 is not None:
+            right = self.read_register(instruction.src2)
+        else:
+            right = self.const(np.float32(instruction.immediate))
+        self.emit(
+            f"{var} = {ufunc}({source}, {right}, dtype=_f32).astype({self.out_dtype})"
+        )
+
+    def add_dma(self, instruction: DMAInstruction) -> None:
+        opcode = instruction.opcode
+        if opcode is DMAOpcode.LOAD_WEIGHT:
+            src = instruction.src
+            if src in self.defined or src in self.loaded:
+                return  # Present as a segment local: the check cannot fail.
+            message = self.const(f"weight buffer {src!r} missing")
+            self.emit(f"if {src!r} not in _memory and {src!r} not in _registers:")
+            self.emit(f"    raise ExecutionError({message})")
+            return
+        if opcode in (DMAOpcode.LOAD_EMBEDDING, DMAOpcode.LOAD_BIAS):
+            source = self.read_any(instruction.src)
+            var = self.write_register(instruction.dst)
+            self.emit(f"{var} = _asarray({source}).astype({self.out_dtype})")
+            return
+        if opcode is DMAOpcode.STORE_KV:
+            source = self.as_2d(instruction.src)
+            if instruction.col_count is not None:
+                start = instruction.col_offset
+                stop = start + instruction.col_count
+                sliced = self.temp()
+                self.emit(f"{sliced} = {source}[:, {start}:{stop}]")
+                source = sliced
+            self.emit(f"_append_kv({instruction.dst!r}, {source})")
+            return
+        if opcode is DMAOpcode.STORE_OUTPUT:
+            source = self.read_register(instruction.src)
+            self.emit(f"_memory[{instruction.dst!r}] = {source}.copy()")
+            return
+        raise ExecutionError(  # pragma: no cover - defensive
+            f"unsupported DMA opcode {opcode.value}"
+        )
+
+    def add_instruction(self, instruction: Instruction) -> None:
+        if isinstance(instruction, MatrixInstruction):
+            self.add_matrix(instruction)
+        elif isinstance(instruction, VectorInstruction):
+            self.add_vector(instruction)
+        elif isinstance(instruction, DMAInstruction):
+            self.add_dma(instruction)
+        else:
+            raise ExecutionError(
+                f"cannot link instruction type {type(instruction).__name__}"
+            )
+
+    # ----------------------------------------------------------------- assembly
+    def build(self, label: str) -> Handler:
+        """Assemble, exec, and return the segment function."""
+        params = "".join(f", {name}={name}" for name in self.consts)
+        helpers = "".join(f", {name}={name}" for name in self._BASE_NAMESPACE)
+        body_text = "\n".join(self.lines)
+        header = [
+            f"def _segment(core{params}{helpers}):",
+            "    _registers = core.registers",
+        ]
+        if "_memory" in body_text:
+            header.append("    _memory = core.memory")
+        if "_scatter_value(" in body_text:
+            header.append("    _scatter_value = core._scatter_value")
+        if "_append_kv(" in body_text:
+            header.append("    _append_kv = core._append_kv")
+        epilogue = [
+            f"    _registers[{register!r}] = {var}"
+            for register, var in self.registers_vars.items()
+            if register in self.defined
+        ]
+        source = "\n".join(header + self.lines + epilogue) or "pass"
+        namespace: dict[str, object] = dict(self._BASE_NAMESPACE)
+        namespace.update(self.consts)
+        exec(compile(source, f"<linked:{label}>", "exec"), namespace)  # noqa: S102
+        segment = namespace["_segment"]
+        segment.__source__ = source  # aid debugging / inspection
+        return segment
+
+
+def _compile_segment(
+    instructions: tuple[Instruction, ...], numerics: Numerics, label: str
+) -> Handler:
+    """Lower one sync-free instruction run to a single bound handler."""
+    compiler = _SegmentCompiler(numerics)
+    for instruction in instructions:
+        compiler.add_instruction(instruction)
+    return compiler.build(label)
+
+
+class LinkedSegment(NamedTuple):
+    """One sync-free run of a linked program.
+
+    ``prefix`` holds the instructions whose results are provably identical on
+    every lockstep core (they read only *shared* registers — program inputs
+    declared identical by the caller, ring-sync outputs, earlier prefix
+    results — and *replicated* memory buffers such as the LayerNorm
+    parameters).  The executor runs the prefix once on core 0 and shares the
+    ``shared_out`` registers with the other cores by reference, which is safe
+    because no handler mutates a register array in place.  ``body`` holds the
+    remaining per-core instructions (everything touching partitioned weights
+    or per-device memory).  Either handler may be ``None`` when empty.  Note
+    that on secondary cores only the ``shared_out`` subset of prefix results
+    is materialized in the register file.
+    """
+
+    prefix: Handler | None
+    shared_out: tuple[str, ...]
+    body: Handler | None
+    sync: RouterInstruction | None
+
+
+@dataclass(frozen=True)
+class LinkedProgram:
+    """A program lowered to bound handlers, split at the ring syncs."""
+
+    name: str
+    segments: tuple[LinkedSegment, ...]
+
+
+def _segment_reads(segment) -> set[str]:
+    """Every buffer name read somewhere in ``segment`` (incl. its sync src)."""
+    reads: set[str] = set()
+    for instruction in segment.instructions:
+        reads.update(instruction.source_operands())
+    if segment.sync is not None:
+        reads.add(segment.sync.src)
+    return reads
+
+
+def _instruction_shareable(
+    instruction: Instruction,
+    shared_names: set[str],
+    replicated_memory: frozenset[str],
+    percore_written: set[str],
+) -> bool:
+    """True when every core would compute bit-identical results for it.
+
+    An instruction is shareable when it writes only registers and all its
+    reads resolve to shared registers or replicated memory; anything that
+    writes per-device memory (KV / output stores) or reads a name a per-core
+    body has written stays per-core.
+    """
+    if isinstance(instruction, VectorInstruction):
+        if instruction.opcode is VectorOpcode.STORE:
+            return False
+        names = instruction.source_operands()
+    elif isinstance(instruction, MatrixInstruction):
+        names = instruction.source_operands()
+    elif isinstance(instruction, DMAInstruction):
+        if instruction.opcode in (DMAOpcode.STORE_KV, DMAOpcode.STORE_OUTPUT):
+            return False
+        names = (instruction.src,)
+    else:
+        return False
+    return all(
+        name in shared_names
+        or (name in replicated_memory and name not in percore_written)
+        for name in names
+    )
+
+
+def link_program(
+    program: Program,
+    numerics: Numerics,
+    shared_inputs: frozenset[str] = frozenset(),
+    replicated_memory: frozenset[str] = frozenset(),
+) -> LinkedProgram:
+    """Lower ``program`` to a :class:`LinkedProgram` (memoized).
+
+    ``shared_inputs`` names registers the caller promises to stage with
+    identical values on every lockstep core (e.g. ``hidden``);
+    ``replicated_memory`` names memory buffers bound to identical arrays on
+    every core (e.g. LayerNorm parameters).  Both default to empty, which
+    yields an all-body (purely per-core) linking.  The result is cached on
+    the program object, keyed on the numerics instance (whose bound methods
+    the generated code captures), the two name sets, and the instruction
+    count (programs are built append-only, so a length match means the
+    instruction stream is unchanged).
+    """
+    count = len(program.instructions)
+    key = (numerics, shared_inputs, replicated_memory)
+    cached = program._link_cache.get(key)
+    if cached is not None and cached[0] == count:
+        return cached[1]
+
+    raw_segments = program.segments()
+
+    # Forward pass: split each segment into a shared prefix and per-core body.
+    shared_names: set[str] = set(shared_inputs)
+    percore_written: set[str] = set()
+    splits: list[tuple[tuple[Instruction, ...], set[str], tuple[Instruction, ...]]] = []
+    for segment in raw_segments:
+        instructions = segment.instructions
+        prefix_defined: set[str] = set()
+        cut = 0
+        for instruction in instructions:
+            if not _instruction_shareable(
+                instruction,
+                shared_names | prefix_defined,
+                replicated_memory,
+                percore_written,
+            ):
+                break
+            prefix_defined.update(instruction.destination_operands())
+            cut += 1
+        body = instructions[cut:]
+        body_defined = {
+            name for instruction in body for name in instruction.destination_operands()
+        }
+        splits.append((instructions[:cut], prefix_defined, body))
+        shared_names |= prefix_defined
+        shared_names -= body_defined
+        percore_written |= body_defined
+        if segment.sync is not None:
+            shared_names.add(segment.sync.dst)
+            percore_written.discard(segment.sync.dst)
+
+    # Backward pass: a prefix result must be materialized on every core only
+    # if some per-core body, sync, or the program output observes it later.
+    later_reads: set[str] = set(program.outputs)
+    shared_outs: list[tuple[str, ...]] = [()] * len(raw_segments)
+    for index in range(len(raw_segments) - 1, -1, -1):
+        segment = raw_segments[index]
+        _, prefix_defined, body = splits[index]
+        observed: set[str] = set(later_reads)
+        for instruction in body:
+            observed.update(instruction.source_operands())
+        if segment.sync is not None:
+            observed.add(segment.sync.src)
+        shared_outs[index] = tuple(sorted(prefix_defined & observed))
+        later_reads |= _segment_reads(segment)
+
+    segments = []
+    for index, segment in enumerate(raw_segments):
+        prefix_instructions, _, body_instructions = splits[index]
+        prefix = (
+            _compile_segment(
+                prefix_instructions, numerics, f"{program.name}#{index}.shared"
+            )
+            if prefix_instructions
+            else None
+        )
+        body = (
+            _compile_segment(body_instructions, numerics, f"{program.name}#{index}")
+            if body_instructions
+            else None
+        )
+        segments.append(LinkedSegment(prefix, shared_outs[index], body, segment.sync))
+
+    linked = LinkedProgram(name=program.name, segments=tuple(segments))
+    program._link_cache[key] = (count, linked)
+    return linked
+
+
+#: Largest 2-D array (elements) compared when scanning for replicated memory;
+#: replicated buffers are small vectors (LayerNorm parameters), so the big
+#: partitioned weight matrices are skipped without comparing their contents.
+_REPLICATION_SCAN_LIMIT = 1 << 16
+
+
+def _share_replicated_memory(
+    per_device: list[dict[str, np.ndarray]],
+) -> frozenset[str]:
+    """Names bound to equal arrays on every device's memory dict.
+
+    Detected entries are rebound to device 0's array on every device — safe
+    because nothing mutates staged memory arrays in place — so that reads of
+    replicated parameters resolve to one shared object.
+    """
+    first = per_device[0]
+    replicated: set[str] = set()
+    for name, array in first.items():
+        if array.ndim > 1 and array.size > _REPLICATION_SCAN_LIMIT:
+            continue
+        same = True
+        for other in per_device[1:]:
+            candidate = other.get(name)
+            if candidate is array:
+                continue
+            if (
+                candidate is None
+                or candidate.shape != array.shape
+                or not np.array_equal(candidate, array)
+            ):
+                same = False
+                break
+        if same:
+            for other in per_device[1:]:
+                other[name] = array
+            replicated.add(name)
+    return frozenset(replicated)
 
 
 class DFXFunctionalSimulator:
     """Lockstep functional simulation of a whole DFX cluster.
 
     Produces logits (and greedy tokens) that can be compared against the
-    reference GPT-2 model built from the same weights.
+    reference GPT-2 model built from the same weights.  Token steps run on the
+    fast path: compiled programs come from the compiler's program cache (one
+    past-length-independent decode-step program covers the whole generation
+    stage), each program is linked to bound handlers once, and KV appends land
+    in preallocated :class:`GrowableKV` buffers.
     """
 
     def __init__(
@@ -267,9 +978,68 @@ class DFXFunctionalSimulator:
         self._lm_head_memory = [
             self._bind_lm_head_memory(device_id) for device_id in range(num_devices)
         ]
+        # Detect memory buffers replicated (equal-valued) across devices —
+        # LayerNorm parameters in this partitioning scheme — and rebind them
+        # to one shared array so lockstep execution can run the instruction
+        # runs that depend only on them once instead of once per core.
+        layer_replicated = [
+            _share_replicated_memory(
+                [self._layer_memory[device_id][layer_index]
+                 for device_id in range(num_devices)]
+            )
+            for layer_index in range(self.config.n_layer)
+        ]
+        self._replicated_layer_names = frozenset.intersection(*layer_replicated)
+        self._replicated_lm_names = _share_replicated_memory(self._lm_head_memory)
+        self._layer_shared_inputs = frozenset(("hidden",))
+        self._lm_shared_inputs = frozenset(("hidden_last",))
         self._past_length = 0
+        self._kv_reserve = 0
+        # Persistent per-layer / LM-head cores: the register dicts are reused
+        # across token steps (every program defines its registers before
+        # reading them, and scatter accumulators are fully overwritten), which
+        # avoids re-staging cores and dictionaries on every token.
+        self._layer_cores = [
+            [
+                FunctionalCore(
+                    numerics=numerics,
+                    registers={},
+                    memory=self._layer_memory[device_id][layer_index],
+                )
+                for device_id in range(num_devices)
+            ]
+            for layer_index in range(self.config.n_layer)
+        ]
+        self._lm_cores = [
+            FunctionalCore(
+                numerics=numerics,
+                registers={},
+                memory=self._lm_head_memory[device_id],
+            )
+            for device_id in range(num_devices)
+        ]
+        self._embedding_core = FunctionalCore(
+            numerics=numerics, registers={}, memory={}
+        )
 
     # ------------------------------------------------------------------ binding
+    def _bound_memory(self, memory: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Stage persistent memory in the matmul accumulation dtype.
+
+        The weights were already quantized by ``weights.astype(numerics.dtype)``,
+        so upcasting the staged copies to FP32 is exact — it just hoists the
+        per-instruction ``asarray(..., float32)`` conversion out of the token
+        loop (every read re-quantizes to ``numerics.dtype``, so register
+        contents are unchanged).  Also makes the strided QKV column slices
+        contiguous, which the matmul kernels prefer.
+        """
+        if not self.numerics.accumulate_fp32:
+            return memory
+        return {
+            name: np.asarray(array, dtype=np.float32)
+            for name, array in memory.items()
+        }
+
     def _bind_layer_memory(self, layer: DeviceLayerWeights) -> dict[str, np.ndarray]:
         qkv_dim = layer.w_qkv.shape[1] // 3
         memory: dict[str, np.ndarray] = {
@@ -290,43 +1060,61 @@ class DFXFunctionalSimulator:
             "ln2_gamma": layer.ln2_gamma,
             "ln2_beta": layer.ln2_beta,
         }
-        return memory
+        return self._bound_memory(memory)
 
     def _bind_lm_head_memory(self, device_id: int) -> dict[str, np.ndarray]:
         partition = self.plan.device(device_id)
         base_rows = self.config.vocab_size // self.num_devices
         start = device_id * base_rows
         stop = start + partition.vocab_rows
-        return {
+        return self._bound_memory({
             "wte_part": self.weights.wte[start:stop, :],
             "ln_f_gamma": self.weights.ln_f_gamma,
             "ln_f_beta": self.weights.ln_f_beta,
-        }
+        })
 
     # ------------------------------------------------------------------- syncing
     def _run_lockstep(
         self,
         program: Program,
-        per_device_registers: list[dict[str, np.ndarray]],
-        per_device_memory: list[dict[str, np.ndarray]],
+        cores: list[FunctionalCore],
+        shared_inputs: frozenset[str] = frozenset(),
+        replicated_memory: frozenset[str] = frozenset(),
     ) -> list[FunctionalCore]:
-        """Run ``program`` on every device, resolving syncs by all-gather."""
-        cores = [
-            FunctionalCore(
-                numerics=self.numerics,
-                registers=per_device_registers[device_id],
-                memory=per_device_memory[device_id],
-            )
-            for device_id in range(self.num_devices)
-        ]
-        for segment, sync in split_at_syncs(program):
-            for core in cores:
-                for instruction in segment:
-                    core.execute_instruction(instruction)
+        """Run ``program`` on every device core, resolving syncs by all-gather.
+
+        ``shared_inputs`` must name registers staged with identical values in
+        every core's register file; together with ``replicated_memory`` it
+        lets the linker hoist device-identical instruction runs (LayerNorms,
+        residuals) to execute once on core 0.
+        """
+        linked = (
+            program
+            if isinstance(program, LinkedProgram)
+            else link_program(program, self.numerics, shared_inputs, replicated_memory)
+        )
+        primary = cores[0]
+        others = cores[1:]
+        dtype = self.numerics.dtype
+        for prefix, shared_out, body, sync in linked.segments:
+            if prefix is not None:
+                prefix(primary)
+                if others and shared_out:
+                    primary_registers = primary.registers
+                    for core in others:
+                        registers = core.registers
+                        for name in shared_out:
+                            registers[name] = primary_registers[name]
+            if body is not None:
+                for core in cores:
+                    body(core)
             if sync is None:
                 continue
-            slices = [core._read_register(sync.src) for core in cores]
-            gathered = self.numerics.cast(np.concatenate(slices, axis=-1))
+            src = sync.src
+            slices = [core._read_register(src) for core in cores]
+            # The concatenation is fresh and the slices already carry the
+            # register dtype, so the cast can skip its defensive copy.
+            gathered = np.concatenate(slices, axis=-1).astype(dtype, copy=False)
             for core in cores:
                 core.registers[sync.dst] = gathered
         return cores
@@ -347,36 +1135,48 @@ class DFXFunctionalSimulator:
 
         # Token embedding (identical on every device; computed via the program).
         embedding_program = self.compiler.compile_embedding(rows)
-        embedding_memory = {
-            "wte_rows": self.weights.wte[token_ids],
-            "wpe_rows": self.weights.wpe[positions],
-        }
-        embedding_core = FunctionalCore(
-            numerics=self.numerics, registers={}, memory=dict(embedding_memory)
-        )
+        embedding_core = self._embedding_core
+        embedding_core.memory["wte_rows"] = self.weights.wte[token_ids]
+        embedding_core.memory["wpe_rows"] = self.weights.wpe[positions]
         embedding_core.execute(embedding_program)
         hidden = embedding_core.registers["hidden"]
 
-        # Decoder layers in lockstep across devices.
-        layer_program = self.compiler.compile_decoder_layer(rows, past)
+        # Decoder layers in lockstep across devices.  A single-row step uses
+        # the cached past-length-independent decode-step program.
+        if rows == 1:
+            layer_program = self.compiler.compile_decoder_step()
+        else:
+            layer_program = self.compiler.compile_decoder_layer(rows, past)
+        linked_layer = link_program(
+            layer_program,
+            self.numerics,
+            self._layer_shared_inputs,
+            self._replicated_layer_names,
+        )
+        reserve = self._kv_reserve
         for layer_index in range(self.config.n_layer):
-            registers = [
-                {"hidden": hidden.copy()} for _ in range(self.num_devices)
-            ]
-            memories = [
-                self._layer_memory[device_id][layer_index]
-                for device_id in range(self.num_devices)
-            ]
-            cores = self._run_lockstep(layer_program, registers, memories)
+            # Every device starts from the same hidden state; no handler
+            # mutates a register array in place, so the staged array is
+            # shared by reference rather than copied per device.
+            cores = self._layer_cores[layer_index]
+            for core in cores:
+                core.registers["hidden"] = hidden
+                core.kv_reserve = reserve
+            self._run_lockstep(linked_layer, cores)
             hidden = cores[0].registers["hidden_out"]
 
         # LM head on the last position only.
         lm_head_program = self.compiler.compile_lm_head()
-        registers = [
-            {"hidden_last": hidden[-1:, :].copy()} for _ in range(self.num_devices)
-        ]
-        memories = [dict(self._lm_head_memory[d]) for d in range(self.num_devices)]
-        cores = self._run_lockstep(lm_head_program, registers, memories)
+        last_hidden = hidden[-1:, :]
+        cores = self._lm_cores
+        for core in cores:
+            core.registers["hidden_last"] = last_hidden
+        self._run_lockstep(
+            lm_head_program,
+            cores,
+            self._lm_shared_inputs,
+            self._replicated_lm_names,
+        )
         logits = np.asarray(cores[0].registers["logits"], dtype=np.float32)[0]
 
         self._past_length += rows
@@ -386,13 +1186,41 @@ class DFXFunctionalSimulator:
         """Greedy generation mirroring :class:`repro.model.TextGenerator`."""
         if max_new_tokens <= 0:
             raise ExecutionError("max_new_tokens must be positive")
+        # Reserve KV capacity for the whole run so the caches never regrow —
+        # including warm buffers kept alive across reset_cache().
+        self._kv_reserve = max(
+            self._kv_reserve,
+            self._past_length + len(input_token_ids) + max_new_tokens,
+        )
+        for device_layers in self._layer_memory:
+            for memory in device_layers:
+                for value in memory.values():
+                    if type(value) is GrowableKV:
+                        value.reserve(self._kv_reserve)
         outputs: list[int] = []
         _, next_token = self.forward(np.asarray(input_token_ids))
         outputs.append(next_token)
+        step = np.empty(1, dtype=np.int64)
         for _ in range(max_new_tokens - 1):
-            _, next_token = self.forward(np.asarray([next_token]))
+            step[0] = next_token
+            _, next_token = self.forward(step)
             outputs.append(next_token)
         return outputs
+
+    def reset_cache(self) -> None:
+        """Clear the KV cache for a new request, keeping everything warm.
+
+        Weights, compiled programs, linked segments, and the preallocated KV
+        capacity all survive — only the logical cache length drops to zero —
+        so a serving loop pays the one-time staging cost once per process,
+        not once per request.
+        """
+        for device_layers in self._layer_memory:
+            for memory in device_layers:
+                for value in memory.values():
+                    if type(value) is GrowableKV:
+                        value.length = 0
+        self._past_length = 0
 
     @property
     def kv_cache_length(self) -> int:

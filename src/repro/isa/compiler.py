@@ -19,11 +19,23 @@ The compiler also reproduces the paper's **Value-first reordering**
 (Sec. V-B, "Transpose Scheme"): the Value projection is computed before Key
 and Query so the DMA can hide the Value transpose behind the Key/Query
 matrix-vector products.
+
+Compiled programs are **memoized**: ``compile_decoder_layer`` caches on
+``(rows, past_length)``, ``compile_embedding`` on ``rows``, and the LM-head
+and decode-step programs are compiled once per compiler.  Callers must treat
+returned programs as immutable (the functional and timing engines only read
+them); mutate a copy via :meth:`Program.concatenate` instead.  For the
+generation stage, :meth:`DFXCompiler.compile_decoder_step` emits a single
+past-length-*independent* program: with one query row the causal mask can
+never exclude a key, so the step program is shared by every token of a
+``generate()`` call instead of recompiling per token (the hardware analogue:
+the controller only changes the HBM base address between tokens, Sec. V-A).
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.errors import CompilationError
@@ -107,6 +119,15 @@ class DFXCompiler:
         self.plan = plan
         self.device_id = device_id
         self.partition = plan.device(device_id)
+        # Program caches (see module docstring): compiled programs are shared
+        # across calls and must not be mutated by callers.
+        self._decoder_cache: dict[tuple[int, int], Program] = {}
+        self._embedding_cache: dict[int, Program] = {}
+        self._lm_head_cache: Program | None = None
+        self._decoder_step_cache: Program | None = None
+        #: Number of *uncached* compilations per program key; tests assert the
+        #: hot path compiles each distinct shape at most once.
+        self.compile_counts: Counter[str] = Counter()
 
     # ------------------------------------------------------------------ helpers
     def _layer_norm(
@@ -209,10 +230,20 @@ class DFXCompiler:
 
         The host stages ``wte_rows`` and ``wpe_rows`` (the rows selected by the
         current token IDs and positions) in DDR; the DMA brings them in and
-        the VPU adds them.
+        the VPU adds them.  Memoized per ``rows``.
         """
         if rows <= 0:
             raise CompilationError(f"rows must be positive, got {rows}")
+        cached = self._embedding_cache.get(rows)
+        if cached is not None:
+            return cached
+        program = self._build_embedding(rows)
+        self._embedding_cache[rows] = program
+        return program
+
+    def _build_embedding(self, rows: int) -> Program:
+        """Uncached embedding-program construction."""
+        self.compile_counts[f"embedding[rows={rows}]"] += 1
         emb = self.config.n_embd
         program = Program(
             name=f"embedding[rows={rows}]",
@@ -246,12 +277,44 @@ class DFXCompiler:
         Returns:
             A :class:`Program` whose input is ``hidden`` and output is
             ``hidden_out``, containing exactly four ring synchronizations.
+            Memoized per ``(rows, past_length)``.
         """
         if rows <= 0:
             raise CompilationError(f"rows must be positive, got {rows}")
         if past_length < 0:
             raise CompilationError(f"past_length must be non-negative, got {past_length}")
+        key = (rows, past_length)
+        cached = self._decoder_cache.get(key)
+        if cached is not None:
+            return cached
+        program = self._build_decoder_layer(rows, past_length, generation_step=False)
+        self._decoder_cache[key] = program
+        return program
 
+    def compile_decoder_step(self) -> Program:
+        """Compile the past-length-independent single-token decoder layer.
+
+        In the generation stage every step processes exactly one query row, so
+        the causal mask ``key <= query + past`` admits *all* cached keys: the
+        masked matrix product is bit-identical with the mask elided.  All
+        other instruction semantics are shape-polymorphic in the functional
+        engine (matrix/vector operands take their true extents from the bound
+        buffers), so one cached program serves every token of a generation
+        run.  The static shape metadata (``out_dim``, vector ``length``,
+        ``past_length``) is nominal (compiled at past 0) — use
+        :meth:`compile_decoder_layer` for the timing model, which needs exact
+        per-step shapes.
+        """
+        if self._decoder_step_cache is None:
+            self._decoder_step_cache = self._build_decoder_layer(
+                rows=1, past_length=0, generation_step=True
+            )
+        return self._decoder_step_cache
+
+    def _build_decoder_layer(
+        self, rows: int, past_length: int, generation_step: bool
+    ) -> Program:
+        """Uncached decoder-layer construction (see the public wrappers)."""
         config = self.config
         partition = self.partition
         emb = config.n_embd
@@ -261,8 +324,14 @@ class DFXCompiler:
         qkv_dim = partition.qkv_output_dim
         scale = 1.0 / math.sqrt(head_dim)
 
+        name = (
+            f"decoder-step[device={self.device_id}]"
+            if generation_step
+            else f"decoder-layer[device={self.device_id},rows={rows},past={past_length}]"
+        )
+        self.compile_counts[name] += 1
         program = Program(
-            name=f"decoder-layer[device={self.device_id},rows={rows},past={past_length}]",
+            name=name,
             rows=rows,
             past_length=past_length,
             inputs=("hidden",),
@@ -327,7 +396,9 @@ class DFXCompiler:
                     rows=rows,
                     in_dim=head_dim,
                     out_dim=kv_len,
-                    apply_mask=True,
+                    # A single query row attends to every cached key, so the
+                    # decode-step program elides the (no-op) mask entirely.
+                    apply_mask=not generation_step,
                     mask_offset=past_length,
                     apply_redu_max=True,
                     redu_max_dst=score_max,
@@ -449,8 +520,12 @@ class DFXCompiler:
 
         Only the last row of the decoder output feeds the LM head (paper
         Sec. II-A); each device scores its slice of the vocabulary against the
-        transposed WTE and the logits are gathered for the argmax.
+        transposed WTE and the logits are gathered for the argmax.  Compiled
+        once per compiler (the program has no shape parameters).
         """
+        if self._lm_head_cache is not None:
+            return self._lm_head_cache
+        self.compile_counts["lm-head"] += 1
         emb = self.config.n_embd
         vocab = self.config.vocab_size
         program = Program(
@@ -494,6 +569,7 @@ class DFXCompiler:
                 comment="write the selected token id back to DDR",
             )
         )
+        self._lm_head_cache = program
         return program
 
     # ------------------------------------------------------------- full token

@@ -1,10 +1,18 @@
-"""Program container: an ordered list of DFX instructions plus metadata."""
+"""Program container: an ordered list of DFX instructions plus metadata.
+
+Besides the raw instruction list, a :class:`Program` exposes a memoized
+*segmented* view (:meth:`Program.segments`): the instruction stream split at
+each router synchronization.  Lockstep executors consume this view once per
+program instead of re-scanning the instruction list on every layer of every
+token step.  The cache is keyed on the instruction count, so the append-only
+construction idiom used by the compiler invalidates it naturally.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, NamedTuple
 
 from repro.isa.instructions import (
     DMAInstruction,
@@ -14,6 +22,17 @@ from repro.isa.instructions import (
     VectorInstruction,
 )
 from repro.isa.opcodes import InstructionClass
+
+
+class ProgramSegment(NamedTuple):
+    """A run of non-router instructions ending at ``sync`` (or program end).
+
+    Unpacks as ``(instructions, sync)``; ``sync`` is ``None`` only for the
+    final segment of a program that does not end with a synchronization.
+    """
+
+    instructions: tuple[Instruction, ...]
+    sync: RouterInstruction | None
 
 
 @dataclass
@@ -35,6 +54,14 @@ class Program:
     past_length: int = 0
     inputs: tuple[str, ...] = ()
     outputs: tuple[str, ...] = ()
+    # Memoized derived views, keyed on len(instructions) so that the compiler's
+    # append-only construction invalidates them.  Excluded from ==/repr.
+    _segment_cache: tuple[int, tuple[ProgramSegment, ...]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _link_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ----------------------------------------------------------------- basics
     def __len__(self) -> int:
@@ -52,6 +79,31 @@ class Program:
         self.instructions.extend(instructions)
 
     # ------------------------------------------------------------------ views
+    def segments(self) -> tuple[ProgramSegment, ...]:
+        """The program split at router syncs, memoized.
+
+        Each :class:`ProgramSegment` holds the instructions preceding one
+        synchronization plus that sync; the final segment's ``sync`` is
+        ``None`` when the program does not end with a router instruction.
+        The result is cached and recomputed only when the instruction count
+        changes (programs are built append-only), so hot loops may call this
+        once per execution at no cost.
+        """
+        count = len(self.instructions)
+        if self._segment_cache is not None and self._segment_cache[0] == count:
+            return self._segment_cache[1]
+        segments: list[ProgramSegment] = []
+        current: list[Instruction] = []
+        for instruction in self.instructions:
+            if isinstance(instruction, RouterInstruction):
+                segments.append(ProgramSegment(tuple(current), instruction))
+                current = []
+            else:
+                current.append(instruction)
+        segments.append(ProgramSegment(tuple(current), None))
+        self._segment_cache = (count, tuple(segments))
+        return self._segment_cache[1]
+
     def matrix_instructions(self) -> list[MatrixInstruction]:
         """All matrix-unit instructions, in order."""
         return [i for i in self.instructions if isinstance(i, MatrixInstruction)]

@@ -80,7 +80,9 @@ class TextGenerator:
                 f"context window of {self.model.config.n_positions}"
             )
 
-        cache: KVCache = self.model.new_cache()
+        # The request's total length is known up front, so the KV cache is
+        # preallocated once and decode never pays a regrowth copy.
+        cache: KVCache = self.model.new_cache(capacity=total)
         result = GenerationResult(input_token_ids=list(input_token_ids))
 
         # Summarization stage: full prompt in one pass.

@@ -135,6 +135,10 @@ class GPT2Model:
         )
 
     # -------------------------------------------------------------- convenience
-    def new_cache(self) -> KVCache:
-        """Create an empty KV cache with this model's dtype."""
-        return KVCache.empty(self.config, dtype=self.numerics.dtype)
+    def new_cache(self, capacity: int = 0) -> KVCache:
+        """Create an empty KV cache with this model's dtype.
+
+        ``capacity`` preallocates that many token positions per layer, so
+        decoding a request of known total length never regrows the cache.
+        """
+        return KVCache.empty(self.config, dtype=self.numerics.dtype, capacity=capacity)

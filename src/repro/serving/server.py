@@ -83,10 +83,27 @@ class ServingReport:
     completed: list[CompletedRequest] = field(default_factory=list)
     total_energy_joules: float = 0.0
     makespan_s: float = 0.0
+    # Lazily-built response-time array, keyed on len(completed) so appends
+    # invalidate it; excluded from ==/repr.
+    _response_cache: tuple[int, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ stats
     def _response_times(self) -> np.ndarray:
-        return np.asarray([c.response_time_s for c in self.completed], dtype=np.float64)
+        """Response times of all completed requests (cached until append).
+
+        The percentile/mean properties are hammered by the saturation sweeps;
+        rebuilding the array for every statistic turned reporting itself into
+        a hot spot on long traces.
+        """
+        count = len(self.completed)
+        if self._response_cache is None or self._response_cache[0] != count:
+            values = np.asarray(
+                [c.response_time_s for c in self.completed], dtype=np.float64
+            )
+            self._response_cache = (count, values)
+        return self._response_cache[1]
 
     @property
     def num_requests(self) -> int:

@@ -1,0 +1,83 @@
+"""Tier-2 smoke tests for the hot-path benchmark script.
+
+Runs ``scripts/bench_hotpath.py`` end-to-end on the tiny configuration with a
+minimal workload (one 4-token measurement), and exercises the ``--check``
+regression gate deterministically by checking against synthetic baselines:
+an easily-cleared floor must pass, an impossible one must fail.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "bench_hotpath.py"
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--config", "tiny", "--tokens", "4",
+         "--repeats", "1", "--num-devices", "2", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+def _synthetic_baseline(path: Path, tokens_per_second: float) -> None:
+    path.write_text(json.dumps({
+        "schema": 1,
+        "config": "tiny",
+        "entries": [
+            {"engine": engine, "new_tokens": 4, "seconds": 1.0,
+             "tokens_per_second": tokens_per_second}
+            for engine in ("functional-sim", "reference-model")
+        ],
+    }))
+
+
+def test_script_writes_valid_report(tmp_path):
+    output = tmp_path / "bench.json"
+    result = _run("--output", str(output))
+    assert result.returncode == 0, result.stderr
+    report = json.loads(output.read_text())
+    assert report["schema"] == 1
+    engines = {entry["engine"] for entry in report["entries"]}
+    assert engines == {"functional-sim", "reference-model"}
+    assert all(entry["tokens_per_second"] > 0 for entry in report["entries"])
+
+
+def test_check_passes_against_low_floor(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    _synthetic_baseline(baseline, tokens_per_second=0.001)
+    result = _run("--check", "--output", str(baseline))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "perf check OK" in result.stdout
+
+
+def test_check_fails_on_regression(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    _synthetic_baseline(baseline, tokens_per_second=1e12)
+    result = _run("--check", "--output", str(baseline))
+    assert result.returncode == 1
+    assert "PERF REGRESSION DETECTED" in result.stdout
+
+
+def test_check_fails_without_baseline(tmp_path):
+    result = _run("--check", "--output", str(tmp_path / "missing.json"))
+    assert result.returncode == 1
+
+
+def test_committed_baseline_is_well_formed():
+    committed = REPO_ROOT / "BENCH_hotpath.json"
+    report = json.loads(committed.read_text())
+    assert report["schema"] == 1
+    functional_64 = next(
+        entry for entry in report["entries"]
+        if entry["engine"] == "functional-sim" and entry["new_tokens"] == 64
+    )
+    # The PR that introduced the fast path measured >=3x over the
+    # pre-optimization engine; the committed baseline records it.
+    assert functional_64["speedup"] >= 3.0

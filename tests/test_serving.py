@@ -140,6 +140,20 @@ class TestQueueingSimulator:
         with pytest.raises(ConfigurationError):
             ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=0)
 
+    def test_response_time_cache_reused_and_invalidated_on_append(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(interarrival_s=2.0, num_requests=5))
+        # Repeated statistics reuse one lazily-built array.
+        first = report._response_times()
+        assert report._response_times() is first
+        mean_before = report.mean_response_time_s
+        # Appending a completed request invalidates the cache.
+        late = report.completed[-1]
+        report.completed.append(late)
+        assert report._response_times() is not first
+        assert report.num_requests == 6
+        assert report.mean_response_time_s == pytest.approx(mean_before)
+
 
 class TestWithRealPlatformModels:
     def test_latency_oracle_caches_results(self):
