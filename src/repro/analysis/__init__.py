@@ -32,6 +32,13 @@ from repro.analysis.workload_presets import (
     SCALABILITY_SETUP,
 )
 from repro.analysis import experiments
+from repro.analysis.experiments import (
+    SchedulerComparisonResult,
+    ServingCapacityResult,
+    fleet_capacity_plan,
+    run_scheduler_comparison,
+    run_serving_capacity,
+)
 
 __all__ = [
     "ComparisonRow",
@@ -61,4 +68,9 @@ __all__ = [
     "PRIMARY_SETUP",
     "SCALABILITY_SETUP",
     "experiments",
+    "SchedulerComparisonResult",
+    "ServingCapacityResult",
+    "fleet_capacity_plan",
+    "run_scheduler_comparison",
+    "run_serving_capacity",
 ]

@@ -8,6 +8,7 @@ rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured values.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.analysis.breakdown import BreakdownReport, dfx_breakdown, gpu_breakdown
@@ -40,6 +41,20 @@ from repro.model.gpt2 import GPT2Model
 from repro.model.numerics import FP16_DFX, FP16_GPU
 from repro.model.weights import generate_weights
 from repro.results import InferenceResult
+from repro.serving import (
+    DATACENTER_MIX,
+    ApplianceFleet,
+    ApplianceServer,
+    CapacityPlan,
+    FleetMember,
+    PlatformModel,
+    ServingReport,
+    WorkloadMix,
+    capacity_search,
+    find_max_rate_under_slo,
+    make_scheduler,
+    poisson_trace,
+)
 from repro.workloads import (
     BALANCED_64_64_WORKLOAD,
     FIGURE3_WORKLOADS,
@@ -314,6 +329,169 @@ def run_table2(
     gpu = GPUAppliance(setup.config, num_devices=setup.num_devices)
     dfx = DFXAppliance(setup.config, num_devices=setup.num_devices, calibration=calibration)
     return cost_comparison(gpu.run(workload), dfx.run(workload))
+
+
+# ------------------------------------------------- Serving (datacenter study)
+@dataclass(frozen=True)
+class SchedulerComparisonResult:
+    """One trace served under several scheduling policies on one appliance."""
+
+    trace_length: int
+    reports: dict[str, ServingReport]  # policy name -> report
+
+    @staticmethod
+    def _offered_p95(report: ServingReport) -> float:
+        """p95 response time over *offered* requests, abandoned = infinity.
+
+        Ranking by the percentile over completed requests alone would reward
+        load shedding: a policy that abandons most of the trace shows a great
+        tail over its few survivors.  Counting every abandoned request as an
+        infinite response time removes that survivorship bias (a policy that
+        abandons more than 5% of the offered load has an infinite p95).
+        """
+        if report.num_offered == 0:
+            return 0.0
+        rank = math.ceil(0.95 * report.num_offered)  # 1-based order statistic
+        responses = sorted(c.response_time_s for c in report.completed)
+        if rank > len(responses):
+            return float("inf")
+        return responses[rank - 1]
+
+    def best_policy_by_p95(self) -> str:
+        """Policy with the lowest p95 over offered requests on this trace."""
+        return min(
+            self.reports,
+            key=lambda name: (
+                self._offered_p95(self.reports[name]),
+                self.reports[name].abandonment_rate,
+            ),
+        )
+
+
+def run_scheduler_comparison(
+    platform: PlatformModel | None = None,
+    *,
+    policies: tuple[str, ...] = ("fifo", "sjf", "priority", "deadline"),
+    arrival_rate_per_s: float = 0.8,
+    duration_s: float = 300.0,
+    num_clusters: int = 2,
+    mix: WorkloadMix = DATACENTER_MIX,
+    seed: int = 11,
+    trace=None,
+    platform_name: str | None = None,
+) -> SchedulerComparisonResult:
+    """Serve one trace under each policy on one appliance (default: DFX 4U host).
+
+    Pass ``trace`` directly to study classed traffic (priorities / SLOs /
+    patience); otherwise a Poisson trace over ``mix`` is generated.
+    """
+    if platform is None:
+        platform = DFXAppliance(GPT2_1_5B, num_devices=4)
+        platform_name = platform_name or "dfx"
+    if trace is None:
+        trace = poisson_trace(arrival_rate_per_s, duration_s, mix, seed=seed)
+    reports = {
+        policy: ApplianceServer(
+            platform,
+            num_clusters=num_clusters,
+            platform_name=platform_name,
+            scheduler=policy,
+        ).serve(trace)
+        for policy in policies
+    }
+    return SchedulerComparisonResult(trace_length=len(trace), reports=reports)
+
+
+@dataclass(frozen=True)
+class ServingCapacityResult:
+    """Capacity planning: max sustainable rate under an SLO per configuration."""
+
+    slo_s: float
+    percentile: float
+    plans: dict[str, CapacityPlan]  # configuration label -> plan
+
+    def capacities_per_hour(self) -> dict[str, float]:
+        """Max offered load (requests/hour) meeting the SLO, per configuration."""
+        return {
+            label: plan.max_requests_per_hour for label, plan in self.plans.items()
+        }
+
+
+def run_serving_capacity(
+    config: GPT2Config = GPT2_1_5B,
+    *,
+    slo_s: float = 8.0,
+    percentile: float = 95.0,
+    num_devices: int = 4,
+    mix: WorkloadMix = DATACENTER_MIX,
+    trace_duration_s: float = 240.0,
+    seed: int = 5,
+    scheduler: str = "fifo",
+) -> ServingCapacityResult:
+    """How much offered load each appliance configuration sustains under an SLO.
+
+    Compares the GPU appliance, one DFX cluster, the full 4U host (two DFX
+    clusters), and the heterogeneous fleet (both DFX clusters plus the GPU
+    appliance behind one queue) — the capacity numbers the datacenter
+    operator actually provisions by.
+    """
+    dfx = DFXAppliance(config, num_devices=num_devices)
+    gpu = GPUAppliance(config, num_devices=num_devices)
+
+    def trace_builder(rate: float):
+        return poisson_trace(rate, trace_duration_s, mix, seed=seed)
+
+    plans = {
+        "gpu-x1": find_max_rate_under_slo(
+            gpu, trace_builder, slo_s, percentile=percentile,
+            num_clusters=1, platform_name="gpu", scheduler=scheduler,
+        ),
+        "dfx-x1": find_max_rate_under_slo(
+            dfx, trace_builder, slo_s, percentile=percentile,
+            num_clusters=1, platform_name="dfx", scheduler=scheduler,
+        ),
+        "dfx-x2": find_max_rate_under_slo(
+            dfx, trace_builder, slo_s, percentile=percentile,
+            num_clusters=2, platform_name="dfx-x2", scheduler=scheduler,
+        ),
+        "dfx-x2+gpu": fleet_capacity_plan(
+            ApplianceFleet(
+                [
+                    FleetMember("dfx", dfx, num_clusters=2),
+                    FleetMember("gpu", gpu, num_clusters=1),
+                ],
+                scheduler=scheduler,
+            ),
+            trace_builder,
+            slo_s,
+            percentile=percentile,
+        ),
+    }
+    return ServingCapacityResult(slo_s=slo_s, percentile=percentile, plans=plans)
+
+
+def fleet_capacity_plan(
+    fleet: ApplianceFleet,
+    trace_builder,
+    slo_s: float,
+    *,
+    percentile: float = 95.0,
+    rate_bounds: tuple[float, float] = (0.05, 64.0),
+    relative_tolerance: float = 0.05,
+    max_abandonment_rate: float = 0.0,
+) -> CapacityPlan:
+    """:func:`repro.serving.find_max_rate_under_slo` for a whole fleet."""
+    return capacity_search(
+        fleet.serve,
+        trace_builder,
+        slo_s,
+        platform=fleet.name,
+        scheduler_name=make_scheduler(fleet.scheduler).name,
+        percentile=percentile,
+        rate_bounds=rate_bounds,
+        relative_tolerance=relative_tolerance,
+        max_abandonment_rate=max_abandonment_rate,
+    )
 
 
 # ------------------------------------------------------------------- Accuracy

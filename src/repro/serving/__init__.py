@@ -1,34 +1,88 @@
-"""Datacenter serving layer: request traces, workload mixes, and an
-event-driven multi-cluster appliance serving simulator."""
+"""Datacenter serving subsystem.
+
+Layout (see the module docstrings for details):
+
+* ``requests``   — traces, workload mixes, and service-level tagging.
+* ``server``     — latency oracle, reports, ``ApplianceServer`` front end,
+  ``saturation_sweep`` and ``find_max_rate_under_slo`` capacity planning.
+* ``simulator``  — the discrete-event core shared by appliance and fleet.
+* ``schedulers`` — pluggable dispatch policies (FIFO / SJF / priority /
+  deadline); subclass ``SchedulingPolicy`` and register in ``SCHEDULERS``
+  to add one.
+* ``fleet``      — heterogeneous multi-appliance serving behind one queue.
+"""
 
 from repro.serving.requests import (
     ARTICLE_MIX,
     CHATBOT_MIX,
     DATACENTER_MIX,
+    DEFAULT_SERVICE_CLASS,
     ServiceRequest,
     WorkloadMix,
     constant_trace,
+    merge_traces,
     poisson_trace,
+    with_service_levels,
 )
 from repro.serving.server import (
+    ABANDON_INFEASIBLE,
+    ABANDON_TIMEOUT,
+    AbandonedRequest,
     ApplianceServer,
+    CapacityPlan,
     CompletedRequest,
     LatencyOracle,
+    PlatformModel,
     ServingReport,
+    capacity_search,
+    find_max_rate_under_slo,
     saturation_sweep,
 )
+from repro.serving.schedulers import (
+    SCHEDULERS,
+    DeadlineScheduler,
+    FIFOScheduler,
+    PriorityScheduler,
+    SchedulingPolicy,
+    ShortestJobFirstScheduler,
+    make_scheduler,
+)
+from repro.serving.simulator import ABANDON_UNSERVED, ServerUnit, simulate
+from repro.serving.fleet import ApplianceFleet, FleetMember
 
 __all__ = [
     "ARTICLE_MIX",
     "CHATBOT_MIX",
     "DATACENTER_MIX",
+    "DEFAULT_SERVICE_CLASS",
     "ServiceRequest",
     "WorkloadMix",
     "constant_trace",
+    "merge_traces",
     "poisson_trace",
+    "with_service_levels",
+    "ABANDON_INFEASIBLE",
+    "ABANDON_TIMEOUT",
+    "ABANDON_UNSERVED",
+    "AbandonedRequest",
     "ApplianceServer",
+    "CapacityPlan",
     "CompletedRequest",
     "LatencyOracle",
+    "PlatformModel",
     "ServingReport",
+    "capacity_search",
+    "find_max_rate_under_slo",
     "saturation_sweep",
+    "SCHEDULERS",
+    "DeadlineScheduler",
+    "FIFOScheduler",
+    "PriorityScheduler",
+    "SchedulingPolicy",
+    "ShortestJobFirstScheduler",
+    "make_scheduler",
+    "ServerUnit",
+    "simulate",
+    "ApplianceFleet",
+    "FleetMember",
 ]

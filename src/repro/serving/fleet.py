@@ -1,0 +1,88 @@
+"""Heterogeneous fleet serving: several appliances behind one queue.
+
+The paper's 4U host carries two independent 4-FPGA DFX clusters (Sec. VI); a
+datacenter rack mixes such hosts with GPU servers.  This module puts any
+combination of platform models behind a single request queue: each
+:class:`FleetMember` contributes ``num_clusters`` server units backed by its
+own latency oracle, and the discrete-event simulator load-balances
+dispatches greedily onto the idle unit that finishes the request earliest
+(so a faster appliance naturally absorbs more of the offered load).
+
+Scheduling policy (which request goes next) is orthogonal to fleet
+composition (where it runs) — any policy from
+``repro.serving.schedulers`` works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.serving.requests import ServiceRequest
+from repro.serving.schedulers import SchedulingPolicy, make_scheduler
+from repro.serving.server import LatencyOracle, PlatformModel, ServingReport
+from repro.serving.simulator import ServerUnit, simulate
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """One appliance in the fleet: a platform model and its cluster count."""
+
+    name: str
+    platform: PlatformModel
+    num_clusters: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fleet member needs a non-empty name")
+        if self.num_clusters <= 0:
+            raise ConfigurationError("num_clusters must be positive")
+
+
+class ApplianceFleet:
+    """A set of (possibly heterogeneous) appliances behind one queue."""
+
+    def __init__(
+        self,
+        members: list[FleetMember] | tuple[FleetMember, ...],
+        scheduler: str | SchedulingPolicy = "fifo",
+        name: str | None = None,
+    ) -> None:
+        if not members:
+            raise ConfigurationError("a fleet needs at least one member")
+        names = [member.name for member in members]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"fleet member names must be unique: {names}")
+        self.members = tuple(members)
+        self.scheduler = scheduler
+        self.name = name or "+".join(names)
+        # One oracle per member so repeated shapes stay cheap across traces.
+        self._oracles = {
+            member.name: LatencyOracle(member.platform) for member in self.members
+        }
+
+    @property
+    def num_clusters(self) -> int:
+        """Total server units across the fleet."""
+        return sum(member.num_clusters for member in self.members)
+
+    def _units(self) -> list[ServerUnit]:
+        units: list[ServerUnit] = []
+        for member in self.members:
+            oracle = self._oracles[member.name]
+            for _ in range(member.num_clusters):
+                units.append(
+                    ServerUnit(
+                        unit_id=len(units), appliance=member.name, oracle=oracle
+                    )
+                )
+        return units
+
+    def serve(self, trace: list[ServiceRequest]) -> ServingReport:
+        """Replay a trace across the whole fleet under the chosen policy."""
+        return simulate(
+            self._units(),
+            trace,
+            scheduler=make_scheduler(self.scheduler),
+            platform=self.name,
+        )

@@ -4,30 +4,70 @@ The paper motivates DFX with datacenter text-generation services (chatbots,
 article writing) and builds the appliance so one host can carry two
 independent FPGA clusters.  This module generates synthetic request traces —
 Poisson arrivals over a mix of workload shapes — that the serving simulator
-(`repro.serving.server`) replays against an appliance model.
+(`repro.serving.simulator`) replays against an appliance model.
+
+Requests carry optional service-level attributes consumed by the scheduling
+policies in `repro.serving.schedulers`:
+
+* ``priority`` — dispatch class for the priority scheduler (lower = more
+  urgent, like a Unix nice value).
+* ``slo_s`` — response-time objective relative to arrival; the deadline
+  scheduler treats ``arrival + slo_s`` as a hard deadline, and reports count
+  completions beyond it as SLO violations.
+* ``patience_s`` — how long the request waits in queue before abandoning.
+* ``service_class`` — label used for per-class percentile reporting.
+
+Use :func:`with_service_levels` to tag a plain trace with one service class
+and :func:`merge_traces` to interleave several classed traces into one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.workloads import ARTICLE_WRITING_WORKLOAD, CHATBOT_WORKLOAD, Workload
 
+#: Default service-class label for untagged requests.
+DEFAULT_SERVICE_CLASS = "default"
+
 
 @dataclass(frozen=True)
 class ServiceRequest:
-    """One inference request: when it arrives and what shape it has."""
+    """One inference request: when it arrives, its shape, and its service level."""
 
     request_id: int
     arrival_time_s: float
     workload: Workload
+    priority: int = 0
+    slo_s: float | None = None
+    patience_s: float | None = None
+    service_class: str = DEFAULT_SERVICE_CLASS
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
             raise ConfigurationError("arrival_time_s must be non-negative")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ConfigurationError("slo_s must be positive when given")
+        if self.patience_s is not None and self.patience_s <= 0:
+            raise ConfigurationError("patience_s must be positive when given")
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute response deadline (``inf`` for requests without an SLO)."""
+        if self.slo_s is None:
+            return float("inf")
+        return self.arrival_time_s + self.slo_s
+
+    @property
+    def abandon_time_s(self) -> float:
+        """Absolute time the request leaves the queue unserved (``inf`` = never)."""
+        if self.patience_s is None:
+            return float("inf")
+        return self.arrival_time_s + self.patience_s
 
 
 @dataclass(frozen=True)
@@ -43,6 +83,10 @@ class WorkloadMix:
     name: str
     workloads: tuple[Workload, ...]
     weights: tuple[float, ...]
+    # Normalized once at construction; ``sample`` used to renormalize on every
+    # draw (an O(n) allocation per request that dominated long-trace
+    # generation).  Read-only so the shared array cannot be corrupted.
+    _probabilities: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.workloads) != len(self.weights):
@@ -51,22 +95,27 @@ class WorkloadMix:
             raise ConfigurationError("a workload mix needs at least one workload")
         if any(weight < 0 for weight in self.weights) or sum(self.weights) <= 0:
             raise ConfigurationError("weights must be non-negative and sum to > 0")
+        weights = np.asarray(self.weights, dtype=np.float64)
+        probabilities = weights / weights.sum()
+        probabilities.setflags(write=False)
+        object.__setattr__(self, "_probabilities", probabilities)
 
     def probabilities(self) -> np.ndarray:
-        """Normalized sampling probabilities."""
-        weights = np.asarray(self.weights, dtype=np.float64)
-        return weights / weights.sum()
+        """Normalized sampling probabilities (cached, read-only)."""
+        return self._probabilities
 
     def sample(self, rng: np.random.Generator) -> Workload:
         """Draw one workload shape."""
-        index = int(rng.choice(len(self.workloads), p=self.probabilities()))
+        index = int(rng.choice(len(self.workloads), p=self._probabilities))
         return self.workloads[index]
 
     def mean_output_tokens(self) -> float:
         """Expected output tokens per request (for offered-load estimates)."""
-        probabilities = self.probabilities()
         return float(
-            sum(p * w.output_tokens for p, w in zip(probabilities, self.workloads))
+            sum(
+                p * w.output_tokens
+                for p, w in zip(self._probabilities, self.workloads)
+            )
         )
 
 
@@ -141,13 +190,61 @@ def constant_trace(
     interarrival_s: float,
     num_requests: int,
     workload: Workload = CHATBOT_WORKLOAD,
+    start_time_s: float = 0.0,
 ) -> list[ServiceRequest]:
     """Generate an evenly spaced trace of identical requests (for tests)."""
     if interarrival_s < 0:
         raise ConfigurationError("interarrival_s must be non-negative")
     if num_requests <= 0:
         raise ConfigurationError("num_requests must be positive")
+    if start_time_s < 0:
+        raise ConfigurationError("start_time_s must be non-negative")
     return [
-        ServiceRequest(request_id=i, arrival_time_s=i * interarrival_s, workload=workload)
+        ServiceRequest(
+            request_id=i,
+            arrival_time_s=start_time_s + i * interarrival_s,
+            workload=workload,
+        )
         for i in range(num_requests)
+    ]
+
+
+def with_service_levels(
+    trace: list[ServiceRequest],
+    *,
+    priority: int = 0,
+    slo_s: float | None = None,
+    patience_s: float | None = None,
+    service_class: str = DEFAULT_SERVICE_CLASS,
+) -> list[ServiceRequest]:
+    """Tag every request of a trace with one service class.
+
+    Returns new requests (``ServiceRequest`` is frozen); arrival times and
+    workloads are untouched, so the offered load is identical.
+    """
+    return [
+        dataclasses.replace(
+            request,
+            priority=priority,
+            slo_s=slo_s,
+            patience_s=patience_s,
+            service_class=service_class,
+        )
+        for request in trace
+    ]
+
+
+def merge_traces(*traces: list[ServiceRequest]) -> list[ServiceRequest]:
+    """Interleave several traces into one, sorted by arrival time.
+
+    Request ids are reassigned (in arrival order) so the merged trace has
+    unique ids even when the inputs were generated independently.
+    """
+    merged = sorted(
+        (request for trace in traces for request in trace),
+        key=lambda request: request.arrival_time_s,
+    )
+    return [
+        dataclasses.replace(request, request_id=index)
+        for index, request in enumerate(merged)
     ]

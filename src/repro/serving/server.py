@@ -1,10 +1,22 @@
-"""Appliance-level serving simulator.
+"""Serving reports, the latency oracle, and the appliance-level entry points.
+
+The serving subsystem is split across four modules:
+
+* ``serving/server.py`` (this module) — the :class:`LatencyOracle`, the
+  outcome records (:class:`CompletedRequest`, :class:`AbandonedRequest`), the
+  aggregate :class:`ServingReport`, the back-compat :class:`ApplianceServer`
+  front end, and the capacity-planning helpers (:func:`saturation_sweep`,
+  :func:`find_max_rate_under_slo`).
+* ``serving/simulator.py`` — the discrete-event core: a single event loop
+  that replays a trace against any set of server units.
+* ``serving/schedulers.py`` — pluggable dispatch policies (FIFO, SJF,
+  priority classes, deadline/EDF with infeasibility drops).
+* ``serving/fleet.py`` — heterogeneous multi-appliance serving: several
+  appliances (e.g. two DFX clusters plus a GPU baseline) behind one queue.
 
 The DFX server appliance hosts one or two independent FPGA clusters behind a
-dual-socket CPU (paper Fig. 5 / Sec. VI); each cluster serves one request at a
-time because text generation is run unbatched (Sec. III-A).  This module is a
-simple event-driven queueing simulator: requests arrive from a trace, wait in
-a FIFO queue, and are dispatched to the first free cluster; per-request
+dual-socket CPU (paper Fig. 5 / Sec. VI); each cluster serves one request at
+a time because text generation is run unbatched (Sec. III-A).  Per-request
 service time comes from any platform model that exposes
 ``run(workload) -> InferenceResult`` (the DFX appliance simulator or the GPU
 baseline), so the same harness compares serving capacity across platforms.
@@ -12,7 +24,6 @@ baseline), so the same harness compares serving capacity across platforms.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -22,6 +33,11 @@ from repro.errors import ConfigurationError
 from repro.results import InferenceResult
 from repro.serving.requests import ServiceRequest
 from repro.workloads import Workload
+
+#: Abandonment reason: the request's patience ran out while queued.
+ABANDON_TIMEOUT = "timeout"
+#: Abandonment reason: the deadline scheduler proved the SLO unmeetable.
+ABANDON_INFEASIBLE = "infeasible-deadline"
 
 
 class PlatformModel(Protocol):
@@ -57,6 +73,7 @@ class CompletedRequest:
     start_time_s: float
     finish_time_s: float
     cluster_id: int
+    appliance: str = ""
 
     @property
     def queueing_delay_s(self) -> float:
@@ -73,47 +90,143 @@ class CompletedRequest:
         """Arrival-to-completion latency seen by the user."""
         return self.finish_time_s - self.request.arrival_time_s
 
+    @property
+    def slo_met(self) -> bool:
+        """Whether the response met the request's SLO (vacuously true without one)."""
+        if self.request.slo_s is None:
+            return True
+        return self.response_time_s <= self.request.slo_s
+
+
+@dataclass(frozen=True)
+class AbandonedRequest:
+    """A request that left the system unserved."""
+
+    request: ServiceRequest
+    abandoned_time_s: float
+    # ABANDON_TIMEOUT, ABANDON_INFEASIBLE, or the simulator's ABANDON_UNSERVED.
+    reason: str
+
+    @property
+    def waited_s(self) -> float:
+        """How long the request sat in the queue before giving up."""
+        return self.abandoned_time_s - self.request.arrival_time_s
+
 
 @dataclass
 class ServingReport:
-    """Aggregate statistics of one serving simulation."""
+    """Aggregate statistics of one serving simulation.
+
+    ``makespan_s`` is the busy window ``[first arrival, last finish]`` — not
+    ``[0, last finish]`` — so throughput and utilization are correct for
+    traces that start late or are sparse.  ``appliance_clusters`` maps each
+    appliance name to its cluster count for fleet reports; when empty the
+    report describes a single appliance with ``num_clusters`` clusters.
+    """
 
     platform: str
     num_clusters: int
     completed: list[CompletedRequest] = field(default_factory=list)
     total_energy_joules: float = 0.0
     makespan_s: float = 0.0
-    # Lazily-built response-time array, keyed on len(completed) so appends
-    # invalidate it; excluded from ==/repr.
-    _response_cache: tuple[int, np.ndarray] | None = field(
+    scheduler: str = "fifo"
+    abandoned: list[AbandonedRequest] = field(default_factory=list)
+    first_arrival_s: float = 0.0
+    appliance_clusters: dict[str, int] = field(default_factory=dict)
+    # Lazily-built statistic arrays, keyed on (list object, length) so both
+    # appends and wholesale list replacement invalidate them (the cache holds
+    # the list reference and compares with ``is``, so a freed list's id can
+    # never alias a new one); excluded from ==/repr.  Replacing an element in
+    # place is not detected — use ``invalidate_caches()`` after surgery like
+    # that.
+    _response_cache: tuple[list, int, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _queueing_cache: tuple[list, int, np.ndarray] | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
     # ------------------------------------------------------------------ stats
-    def _response_times(self) -> np.ndarray:
-        """Response times of all completed requests (cached until append).
+    def invalidate_caches(self) -> None:
+        """Drop the lazily-built statistic arrays (after mutating ``completed``)."""
+        self._response_cache = None
+        self._queueing_cache = None
+
+    def _cached_stat(self, cache_attr: str, extract) -> np.ndarray:
+        """Per-completed-request statistic array, cached until ``completed``
+        is appended to or replaced.
 
         The percentile/mean properties are hammered by the saturation sweeps;
         rebuilding the array for every statistic turned reporting itself into
         a hot spot on long traces.
         """
-        count = len(self.completed)
-        if self._response_cache is None or self._response_cache[0] != count:
+        cache = getattr(self, cache_attr)
+        if (
+            cache is None
+            or cache[0] is not self.completed
+            or cache[1] != len(self.completed)
+        ):
             values = np.asarray(
-                [c.response_time_s for c in self.completed], dtype=np.float64
+                [extract(c) for c in self.completed], dtype=np.float64
             )
-            self._response_cache = (count, values)
-        return self._response_cache[1]
+            cache = (self.completed, len(self.completed), values)
+            setattr(self, cache_attr, cache)
+        return cache[2]
+
+    def _response_times(self) -> np.ndarray:
+        """Response times of all completed requests (cached)."""
+        return self._cached_stat("_response_cache", lambda c: c.response_time_s)
+
+    def _queueing_delays(self) -> np.ndarray:
+        """Queueing delays of all completed requests (cached)."""
+        return self._cached_stat("_queueing_cache", lambda c: c.queueing_delay_s)
 
     @property
     def num_requests(self) -> int:
         return len(self.completed)
 
-    def response_time_percentile_s(self, percentile: float) -> float:
-        """Response-time percentile (e.g. 50, 95, 99) in seconds."""
-        if not self.completed:
+    @property
+    def num_abandoned(self) -> int:
+        return len(self.abandoned)
+
+    @property
+    def num_offered(self) -> int:
+        """Requests that entered the system (served plus abandoned)."""
+        return len(self.completed) + len(self.abandoned)
+
+    def response_time_percentile_s(
+        self, percentile: float, service_class: str | None = None
+    ) -> float:
+        """Response-time percentile (e.g. 50, 95, 99) in seconds.
+
+        With ``service_class`` the percentile is computed over that class's
+        completed requests only.
+        """
+        if service_class is None:
+            if not self.completed:
+                return 0.0
+            return float(np.percentile(self._response_times(), percentile))
+        values = [
+            c.response_time_s
+            for c in self.completed
+            if c.request.service_class == service_class
+        ]
+        if not values:
             return 0.0
-        return float(np.percentile(self._response_times(), percentile))
+        return float(np.percentile(np.asarray(values, dtype=np.float64), percentile))
+
+    def service_classes(self) -> list[str]:
+        """Service-class labels present in the trace (completed or abandoned)."""
+        labels = {c.request.service_class for c in self.completed}
+        labels.update(a.request.service_class for a in self.abandoned)
+        return sorted(labels)
+
+    def percentiles_by_class(self, percentile: float) -> dict[str, float]:
+        """Per-service-class response-time percentile."""
+        return {
+            label: self.response_time_percentile_s(percentile, service_class=label)
+            for label in self.service_classes()
+        }
 
     @property
     def mean_response_time_s(self) -> float:
@@ -125,18 +238,18 @@ class ServingReport:
     def mean_queueing_delay_s(self) -> float:
         if not self.completed:
             return 0.0
-        return float(np.mean([c.queueing_delay_s for c in self.completed]))
+        return float(self._queueing_delays().mean())
 
     @property
     def requests_per_hour(self) -> float:
-        """Sustained request throughput over the simulated window."""
+        """Sustained request throughput over the busy window."""
         if self.makespan_s <= 0:
             return 0.0
         return self.num_requests / self.makespan_s * 3600.0
 
     @property
     def output_tokens_per_second(self) -> float:
-        """Sustained generated-token throughput."""
+        """Sustained generated-token throughput over the busy window."""
         if self.makespan_s <= 0:
             return 0.0
         tokens = sum(c.request.workload.output_tokens for c in self.completed)
@@ -150,6 +263,54 @@ class ServingReport:
         busy = sum(c.service_time_s for c in self.completed)
         return busy / (self.makespan_s * self.num_clusters)
 
+    def utilization_by_appliance(self) -> dict[str, float]:
+        """Busy-time fraction of each appliance in the (possibly fleet) report."""
+        clusters = self.appliance_clusters or {self.platform: self.num_clusters}
+        if self.makespan_s <= 0:
+            return {name: 0.0 for name in clusters}
+        busy: dict[str, float] = {name: 0.0 for name in clusters}
+        for completed in self.completed:
+            name = completed.appliance or self.platform
+            busy[name] = busy.get(name, 0.0) + completed.service_time_s
+        return {
+            name: busy.get(name, 0.0) / (self.makespan_s * count)
+            for name, count in clusters.items()
+            if count > 0
+        }
+
+    @property
+    def abandonment_rate(self) -> float:
+        """Fraction of offered requests that left unserved."""
+        if self.num_offered == 0:
+            return 0.0
+        return self.num_abandoned / self.num_offered
+
+    @property
+    def slo_violations(self) -> int:
+        """Offered requests with an SLO that were not served within it.
+
+        Counts completions beyond the SLO plus abandonments of SLO-carrying
+        requests; requests without an SLO can only violate by abandonment and
+        are reported through ``abandonment_rate`` instead.
+        """
+        late = sum(1 for c in self.completed if not c.slo_met)
+        dropped = sum(1 for a in self.abandoned if a.request.slo_s is not None)
+        return late + dropped
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """SLO violations as a fraction of offered SLO-carrying requests."""
+        offered = sum(1 for c in self.completed if c.request.slo_s is not None)
+        offered += sum(1 for a in self.abandoned if a.request.slo_s is not None)
+        if offered == 0:
+            return 0.0
+        return self.slo_violations / offered
+
+    @property
+    def slo_attainment(self) -> float:
+        """1 - slo_violation_rate (1.0 when no request carries an SLO)."""
+        return 1.0 - self.slo_violation_rate
+
     @property
     def energy_per_request_joules(self) -> float:
         if not self.completed:
@@ -158,45 +319,41 @@ class ServingReport:
 
 
 class ApplianceServer:
-    """A server appliance with ``num_clusters`` independent accelerator clusters."""
+    """A server appliance with ``num_clusters`` independent accelerator clusters.
+
+    Thin front end over the discrete-event simulator: builds one server unit
+    per cluster (all sharing this appliance's latency oracle) and replays the
+    trace under the chosen scheduling policy.  The default FIFO policy
+    reproduces the original single-loop ``serve()`` semantics exactly.
+    """
 
     def __init__(self, platform: PlatformModel, num_clusters: int = 1,
-                 platform_name: str | None = None) -> None:
+                 platform_name: str | None = None,
+                 scheduler: str | object = "fifo") -> None:
         if num_clusters <= 0:
             raise ConfigurationError("num_clusters must be positive")
         self.oracle = LatencyOracle(platform)
         self.num_clusters = num_clusters
         self.platform_name = platform_name or type(platform).__name__
+        self.scheduler = scheduler
 
     def serve(self, trace: list[ServiceRequest]) -> ServingReport:
-        """Replay a request trace with FIFO dispatch to the first free cluster."""
-        report = ServingReport(platform=self.platform_name, num_clusters=self.num_clusters)
-        if not trace:
-            return report
-        ordered = sorted(trace, key=lambda request: request.arrival_time_s)
+        """Replay a request trace against this appliance's clusters."""
+        # Imported here: simulator.py needs this module's report classes, so a
+        # top-level import would be circular.
+        from repro.serving.schedulers import make_scheduler
+        from repro.serving.simulator import ServerUnit, simulate
 
-        # Min-heap of (time the cluster becomes free, cluster id).
-        free_at: list[tuple[float, int]] = [(0.0, cluster) for cluster in range(self.num_clusters)]
-        heapq.heapify(free_at)
-
-        for request in ordered:
-            cluster_free_time, cluster_id = heapq.heappop(free_at)
-            result = self.oracle.result_for(request.workload)
-            start = max(request.arrival_time_s, cluster_free_time)
-            finish = start + result.latency_s
-            heapq.heappush(free_at, (finish, cluster_id))
-            report.completed.append(
-                CompletedRequest(
-                    request=request,
-                    start_time_s=start,
-                    finish_time_s=finish,
-                    cluster_id=cluster_id,
-                )
-            )
-            report.total_energy_joules += result.energy_joules
-
-        report.makespan_s = max(c.finish_time_s for c in report.completed)
-        return report
+        units = [
+            ServerUnit(unit_id=cluster, appliance=self.platform_name, oracle=self.oracle)
+            for cluster in range(self.num_clusters)
+        ]
+        return simulate(
+            units,
+            trace,
+            scheduler=make_scheduler(self.scheduler),
+            platform=self.platform_name,
+        )
 
 
 def saturation_sweep(
@@ -205,6 +362,7 @@ def saturation_sweep(
     arrival_rates: list[float],
     num_clusters: int = 1,
     platform_name: str | None = None,
+    scheduler: str | object = "fifo",
 ) -> dict[float, ServingReport]:
     """Serve the same workload mix at increasing arrival rates.
 
@@ -212,5 +370,147 @@ def saturation_sweep(
     the result maps each rate to its serving report, letting callers find the
     saturation point (where queueing delay explodes).
     """
-    server = ApplianceServer(platform, num_clusters=num_clusters, platform_name=platform_name)
+    server = ApplianceServer(
+        platform,
+        num_clusters=num_clusters,
+        platform_name=platform_name,
+        scheduler=scheduler,
+    )
     return {rate: server.serve(trace_builder(rate)) for rate in arrival_rates}
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Result of a capacity search: the highest offered rate meeting an SLO."""
+
+    platform: str
+    scheduler: str
+    slo_s: float
+    percentile: float
+    max_rate_per_s: float
+    reports: dict[float, ServingReport]
+
+    @property
+    def max_requests_per_hour(self) -> float:
+        return self.max_rate_per_s * 3600.0
+
+    @property
+    def report_at_capacity(self) -> ServingReport | None:
+        """The serving report measured at the returned capacity (if any)."""
+        if self.max_rate_per_s <= 0:
+            return None
+        return self.reports.get(self.max_rate_per_s)
+
+
+def capacity_search(
+    serve,
+    trace_builder,
+    slo_s: float,
+    *,
+    platform: str,
+    scheduler_name: str,
+    percentile: float = 95.0,
+    rate_bounds: tuple[float, float] = (0.05, 64.0),
+    relative_tolerance: float = 0.05,
+    max_abandonment_rate: float = 0.0,
+) -> CapacityPlan:
+    """Generic capacity search over anything with a ``serve(trace)`` method.
+
+    Exponentially grows the offered rate from ``rate_bounds[0]`` until the
+    ``percentile`` response time exceeds ``slo_s`` (or the abandonment rate
+    exceeds ``max_abandonment_rate``), then bisects the bracket until it is
+    within ``relative_tolerance``.  ``trace_builder(rate)`` must be
+    deterministic for the search to converge.
+
+    Returns a :class:`CapacityPlan` whose ``max_rate_per_s`` is 0.0 when even
+    the lowest probed rate violates the SLO, and ``rate_bounds[1]`` when the
+    SLO holds all the way to the cap.
+    """
+    if slo_s <= 0:
+        raise ConfigurationError("slo_s must be positive")
+    low, high = rate_bounds
+    if low <= 0 or high <= low:
+        raise ConfigurationError("rate_bounds must satisfy 0 < low < high")
+    if relative_tolerance <= 0:
+        raise ConfigurationError("relative_tolerance must be positive")
+
+    reports: dict[float, ServingReport] = {}
+
+    def meets_slo(rate: float) -> bool:
+        if rate not in reports:
+            reports[rate] = serve(trace_builder(rate))
+        report = reports[rate]
+        return (
+            report.response_time_percentile_s(percentile) <= slo_s
+            and report.abandonment_rate <= max_abandonment_rate
+        )
+
+    def plan(max_rate: float) -> CapacityPlan:
+        return CapacityPlan(
+            platform=platform,
+            scheduler=scheduler_name,
+            slo_s=slo_s,
+            percentile=percentile,
+            max_rate_per_s=max_rate,
+            reports=dict(reports),
+        )
+
+    if not meets_slo(low):
+        return plan(0.0)
+    # Exponential growth to bracket the saturation point.
+    good = low
+    while True:
+        candidate = min(good * 2.0, high)
+        if meets_slo(candidate):
+            good = candidate
+            if candidate >= high:
+                return plan(high)
+        else:
+            bad = candidate
+            break
+    # Bisect [good, bad] down to the requested relative tolerance.
+    while (bad - good) > relative_tolerance * good:
+        middle = (good + bad) / 2.0
+        if meets_slo(middle):
+            good = middle
+        else:
+            bad = middle
+    return plan(good)
+
+
+def find_max_rate_under_slo(
+    platform: PlatformModel,
+    trace_builder,
+    slo_s: float,
+    *,
+    percentile: float = 95.0,
+    num_clusters: int = 1,
+    platform_name: str | None = None,
+    scheduler: str | object = "fifo",
+    rate_bounds: tuple[float, float] = (0.05, 64.0),
+    relative_tolerance: float = 0.05,
+    max_abandonment_rate: float = 0.0,
+) -> CapacityPlan:
+    """Capacity planning for one appliance: highest rate whose tail meets the SLO.
+
+    Thin wrapper binding :func:`capacity_search` to an
+    :class:`ApplianceServer`; use :func:`capacity_search` directly for fleets
+    or custom serving front ends.
+    """
+    server = ApplianceServer(
+        platform,
+        num_clusters=num_clusters,
+        platform_name=platform_name,
+        scheduler=scheduler,
+    )
+    return capacity_search(
+        server.serve,
+        trace_builder,
+        slo_s,
+        platform=server.platform_name,
+        scheduler_name=getattr(server.scheduler, "name", str(server.scheduler)),
+        percentile=percentile,
+        rate_bounds=rate_bounds,
+        relative_tolerance=relative_tolerance,
+        max_abandonment_rate=max_abandonment_rate,
+    )

@@ -1,0 +1,218 @@
+"""Discrete-event core of the serving subsystem.
+
+One event loop replays a request trace against an arbitrary set of
+:class:`ServerUnit` s (clusters), each backed by a latency oracle.  Two event
+kinds exist — request arrival and service completion — and between events
+the scheduler is asked which queued request to dispatch onto which idle unit.
+The same loop powers the single-appliance :class:`~repro.serving.server.\
+ApplianceServer` (all units share one oracle) and the heterogeneous
+:class:`~repro.serving.fleet.ApplianceFleet` (units from different
+appliances with different speeds behind one queue).
+
+Dispatch rules:
+
+* The scheduler (``repro.serving.schedulers``) picks *which* request runs
+  next; requests whose patience expired while queued abandon first, and
+  deadline-aware policies may drop requests whose SLO is provably unmeetable.
+* The simulator picks *where* it runs: the idle unit with the smallest
+  estimated service time for that request, breaking ties toward the unit
+  that has been free the longest (then the lowest unit id).  For a
+  homogeneous appliance this reduces to the original ``(free time, cluster
+  id)`` min-heap choice, so FIFO scheduling reproduces the legacy
+  ``ApplianceServer.serve()`` loop exactly; for a heterogeneous fleet it is
+  a greedy earliest-finish load balancer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.serving.requests import ServiceRequest
+from repro.serving.schedulers import SchedulingPolicy
+from repro.serving.server import (
+    ABANDON_INFEASIBLE,
+    ABANDON_TIMEOUT,
+    AbandonedRequest,
+    CompletedRequest,
+    LatencyOracle,
+    ServingReport,
+)
+
+#: Abandonment reason for requests a (custom) policy never dispatched.
+ABANDON_UNSERVED = "unserved"
+
+
+@dataclass
+class ServerUnit:
+    """One cluster of one appliance: serves a single request at a time."""
+
+    unit_id: int
+    appliance: str
+    oracle: LatencyOracle
+    free_at_s: float = 0.0
+    busy: bool = False
+
+    def service_time_s(self, request: ServiceRequest) -> float:
+        return self.oracle.service_time_s(request.workload)
+
+
+@dataclass
+class _SimulationState:
+    """Mutable bookkeeping of one run (kept off the public report object)."""
+
+    units: list[ServerUnit]
+    scheduler: SchedulingPolicy
+    report: ServingReport
+    # False when no request in the trace carries patience_s, letting dispatch
+    # skip the per-event queue sweep (it can only ever be a no-op then).
+    has_patience: bool = False
+    queue: list[ServiceRequest] = field(default_factory=list)
+    completions: list[tuple[float, int]] = field(default_factory=list)
+
+    def idle_units(self) -> list[ServerUnit]:
+        return [unit for unit in self.units if not unit.busy]
+
+    def abandon(self, request: ServiceRequest, time_s: float, reason: str) -> None:
+        self.report.abandoned.append(
+            AbandonedRequest(request=request, abandoned_time_s=time_s, reason=reason)
+        )
+
+    def dispatch(self, now: float) -> None:
+        """Start queued requests on idle units until one side runs out."""
+        if not self.queue or not self.idle_units():
+            return
+        # Patience ran out strictly before now: those requests left the
+        # queue at their abandon time, before this dispatch opportunity.
+        # Both this sweep and the infeasibility drops depend only on ``now``
+        # and the full unit set, so one pass covers every start below.
+        if self.has_patience:
+            still_waiting = []
+            for request in self.queue:
+                if request.abandon_time_s < now:
+                    self.abandon(request, request.abandon_time_s, ABANDON_TIMEOUT)
+                else:
+                    still_waiting.append(request)
+            self.queue[:] = still_waiting
+
+        def system_estimate(request: ServiceRequest) -> float:
+            # Service time on the best unit in the whole system — a lower
+            # bound on any achievable service time, so deadline policies
+            # can treat ``now + estimate(r) > deadline`` as a proof of
+            # infeasibility even when the fast units are momentarily busy.
+            return min(unit.service_time_s(request) for unit in self.units)
+
+        dropped = self.scheduler.infeasible(now, self.queue, system_estimate)
+        for index in sorted(set(dropped), reverse=True):
+            self.abandon(self.queue.pop(index), now, ABANDON_INFEASIBLE)
+
+        while self.queue:
+            idle = self.idle_units()
+            if not idle:
+                return
+
+            def idle_estimate(request: ServiceRequest) -> float:
+                # Service time on the best currently-idle unit — what this
+                # dispatch opportunity can actually achieve.  Policies may
+                # decline a request that only a busy (faster) unit can save.
+                return min(unit.service_time_s(request) for unit in idle)
+
+            chosen = self.scheduler.select(now, self.queue, idle_estimate)
+            if chosen is None:
+                return
+            request = self.queue.pop(chosen)
+            unit = min(
+                idle,
+                key=lambda u: (u.service_time_s(request), u.free_at_s, u.unit_id),
+            )
+            self.start(request, unit, now)
+
+    def start(self, request: ServiceRequest, unit: ServerUnit, now: float) -> None:
+        result = unit.oracle.result_for(request.workload)
+        finish = now + result.latency_s
+        unit.busy = True
+        unit.free_at_s = finish
+        heapq.heappush(self.completions, (finish, unit.unit_id))
+        self.report.completed.append(
+            CompletedRequest(
+                request=request,
+                start_time_s=now,
+                finish_time_s=finish,
+                cluster_id=unit.unit_id,
+                appliance=unit.appliance,
+            )
+        )
+        self.report.total_energy_joules += result.energy_joules
+
+
+def simulate(
+    units: list[ServerUnit],
+    trace: list[ServiceRequest],
+    scheduler: SchedulingPolicy,
+    platform: str,
+) -> ServingReport:
+    """Replay ``trace`` against ``units`` under ``scheduler``.
+
+    Returns a :class:`~repro.serving.server.ServingReport` whose busy window
+    (``first_arrival_s`` / ``makespan_s``) spans first arrival to last finish.
+    Completed requests are recorded in dispatch order (for FIFO that is
+    arrival order, matching the legacy serve loop).
+    """
+    units_by_id = {unit.unit_id: unit for unit in units}
+    if len(units_by_id) != len(units):
+        raise ConfigurationError(
+            f"server unit ids must be unique: {[u.unit_id for u in units]}"
+        )
+    appliance_clusters: dict[str, int] = {}
+    for unit in units:
+        appliance_clusters[unit.appliance] = appliance_clusters.get(unit.appliance, 0) + 1
+    report = ServingReport(
+        platform=platform,
+        num_clusters=len(units),
+        scheduler=scheduler.name,
+        appliance_clusters=appliance_clusters,
+    )
+    if not trace:
+        return report
+
+    arrivals = sorted(trace, key=lambda request: request.arrival_time_s)
+    state = _SimulationState(
+        units=units,
+        scheduler=scheduler,
+        report=report,
+        has_patience=any(request.patience_s is not None for request in arrivals),
+    )
+    next_arrival = 0
+    now = arrivals[0].arrival_time_s
+    while next_arrival < len(arrivals) or state.completions:
+        # Completions fire before arrivals at the same instant, lowest unit
+        # id first, mirroring the legacy min-heap pop order.
+        if state.completions and (
+            next_arrival >= len(arrivals)
+            or state.completions[0][0] <= arrivals[next_arrival].arrival_time_s
+        ):
+            now, unit_id = heapq.heappop(state.completions)
+            units_by_id[unit_id].busy = False
+        else:
+            request = arrivals[next_arrival]
+            next_arrival += 1
+            state.queue.append(request)
+            now = request.arrival_time_s
+        state.dispatch(now)
+
+    # Custom policies may decline to dispatch; account for what they left.
+    # Same boundary as the dispatch-time sweep: patience expiring strictly
+    # before ``now`` is a timeout, anything still willing at ``now`` was
+    # simply never served.
+    for request in state.queue:
+        if request.abandon_time_s < now:
+            state.abandon(request, request.abandon_time_s, ABANDON_TIMEOUT)
+        else:
+            state.abandon(request, now, ABANDON_UNSERVED)
+
+    report.first_arrival_s = arrivals[0].arrival_time_s
+    if report.completed:
+        last_finish = max(c.finish_time_s for c in report.completed)
+        report.makespan_s = max(0.0, last_finish - report.first_arrival_s)
+    return report

@@ -1,0 +1,42 @@
+"""Shared platform-model test doubles for the serving test modules."""
+
+from repro.results import InferenceResult, StageLatency
+from repro.workloads import Workload
+
+
+class FixedLatencyPlatform:
+    """Test double: every request takes exactly ``latency_s`` seconds."""
+
+    def __init__(self, latency_s: float, power_watts: float = 100.0):
+        self.latency_s = latency_s
+        self.power_watts = power_watts
+
+    def run(self, workload: Workload) -> InferenceResult:
+        return InferenceResult(
+            platform="fixed",
+            model_name="test",
+            workload=workload,
+            num_devices=1,
+            summarization=StageLatency(self.latency_s * 1e3 / 2),
+            generation=StageLatency(self.latency_s * 1e3 / 2),
+            total_power_watts=self.power_watts,
+        )
+
+
+class TokenProportionalPlatform:
+    """Test double: service time is ``output_tokens * seconds_per_token``."""
+
+    def __init__(self, seconds_per_token: float = 0.1):
+        self.seconds_per_token = seconds_per_token
+
+    def run(self, workload: Workload) -> InferenceResult:
+        latency_ms = workload.output_tokens * self.seconds_per_token * 1e3
+        return InferenceResult(
+            platform="proportional",
+            model_name="test",
+            workload=workload,
+            num_devices=1,
+            summarization=StageLatency(0.0),
+            generation=StageLatency(latency_ms),
+            total_power_watts=10.0,
+        )

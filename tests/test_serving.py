@@ -12,33 +12,15 @@ from repro.serving.requests import (
     ServiceRequest,
     WorkloadMix,
     constant_trace,
+    merge_traces,
     poisson_trace,
+    with_service_levels,
 )
 from repro.serving.server import ApplianceServer, LatencyOracle, saturation_sweep
 from repro.workloads import Workload
 
 import numpy as np
-
-
-class _FixedLatencyPlatform:
-    """Test double: every request takes exactly ``latency_s`` seconds."""
-
-    def __init__(self, latency_s: float, power_watts: float = 100.0):
-        self.latency_s = latency_s
-        self.power_watts = power_watts
-
-    def run(self, workload: Workload):
-        from repro.results import InferenceResult, StageLatency
-
-        return InferenceResult(
-            platform="fixed",
-            model_name="test",
-            workload=workload,
-            num_devices=1,
-            summarization=StageLatency(self.latency_s * 1e3 / 2),
-            generation=StageLatency(self.latency_s * 1e3 / 2),
-            total_power_watts=self.power_watts,
-        )
+from serving_doubles import FixedLatencyPlatform as _FixedLatencyPlatform
 
 
 class TestTraces:
@@ -94,6 +76,56 @@ class TestWorkloadMix:
         for mix in (CHATBOT_MIX, DATACENTER_MIX):
             assert mix.probabilities().sum() == pytest.approx(1.0)
 
+    def test_probabilities_cached_and_read_only(self):
+        # Regression: ``sample`` used to renormalize the weights on every
+        # draw; now the normalized vector is built once at construction.
+        assert CHATBOT_MIX.probabilities() is CHATBOT_MIX.probabilities()
+        assert not CHATBOT_MIX.probabilities().flags.writeable
+        with pytest.raises(ValueError):
+            CHATBOT_MIX.probabilities()[0] = 0.5
+
+    def test_sampling_uses_cached_probabilities(self):
+        mix = WorkloadMix("m", (Workload(1, 10), Workload(1, 30)), (3.0, 1.0))
+        rng = np.random.default_rng(0)
+        draws = [mix.sample(rng) for _ in range(400)]
+        heavy = sum(1 for w in draws if w.output_tokens == 10)
+        assert 240 < heavy < 360  # ~75% of 400
+
+
+class TestServiceLevels:
+    def test_with_service_levels_tags_without_changing_load(self):
+        trace = constant_trace(1.0, 4)
+        tagged = with_service_levels(
+            trace, priority=2, slo_s=3.0, patience_s=9.0, service_class="chat"
+        )
+        assert [r.arrival_time_s for r in tagged] == [r.arrival_time_s for r in trace]
+        assert all(r.priority == 2 for r in tagged)
+        assert all(r.slo_s == 3.0 and r.patience_s == 9.0 for r in tagged)
+        assert tagged[0].deadline_s == pytest.approx(3.0)
+        assert tagged[1].abandon_time_s == pytest.approx(10.0)
+
+    def test_untagged_request_never_abandons_or_violates(self):
+        request = ServiceRequest(0, 1.0, Workload(1, 1))
+        assert request.deadline_s == float("inf")
+        assert request.abandon_time_s == float("inf")
+
+    def test_invalid_service_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceRequest(0, 0.0, Workload(1, 1), slo_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceRequest(0, 0.0, Workload(1, 1), patience_s=-1.0)
+
+    def test_merge_traces_sorts_and_renumbers(self):
+        first = with_service_levels(constant_trace(2.0, 3), service_class="a")
+        second = with_service_levels(
+            constant_trace(2.0, 3, start_time_s=1.0), service_class="b"
+        )
+        merged = merge_traces(first, second)
+        times = [r.arrival_time_s for r in merged]
+        assert times == sorted(times)
+        assert [r.request_id for r in merged] == list(range(6))
+        assert [r.service_class for r in merged] == ["a", "b", "a", "b", "a", "b"]
+
 
 class TestQueueingSimulator:
     def test_no_queueing_when_arrivals_are_sparse(self):
@@ -139,6 +171,53 @@ class TestQueueingSimulator:
     def test_invalid_cluster_count(self):
         with pytest.raises(ConfigurationError):
             ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=0)
+
+    def test_makespan_measured_from_first_arrival(self):
+        # Regression: the busy window used to start at t=0, understating
+        # throughput and utilization for traces that start late.
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(
+            constant_trace(interarrival_s=2.0, num_requests=5, start_time_s=100.0)
+        )
+        # Busy window: first arrival t=100, last finish t=108+1=109.
+        assert report.first_arrival_s == pytest.approx(100.0)
+        assert report.makespan_s == pytest.approx(9.0)
+        assert report.requests_per_hour == pytest.approx(5 / 9.0 * 3600.0)
+        assert report.utilization == pytest.approx(5 / 9.0)
+
+    def test_late_trace_matches_equivalent_early_trace(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        early = server.serve(constant_trace(0.5, 10))
+        late = server.serve(constant_trace(0.5, 10, start_time_s=1000.0))
+        assert late.makespan_s == pytest.approx(early.makespan_s)
+        assert late.utilization == pytest.approx(early.utilization)
+        assert late.output_tokens_per_second == pytest.approx(
+            early.output_tokens_per_second
+        )
+
+    def test_response_cache_invalidated_on_same_length_replacement(self):
+        # Regression: the cache was keyed only on len(completed), so
+        # replacing the list with a same-length list served stale numbers.
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(interarrival_s=2.0, num_requests=4))
+        assert report.mean_response_time_s == pytest.approx(1.0)
+        import dataclasses
+
+        report.completed = [
+            dataclasses.replace(c, finish_time_s=c.finish_time_s + 1.0)
+            for c in report.completed
+        ]
+        assert report.mean_response_time_s == pytest.approx(2.0)
+
+    def test_queueing_delay_cached_like_response_times(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(0.5, 10))
+        first = report._queueing_delays()
+        assert report._queueing_delays() is first
+        report.completed.append(report.completed[-1])
+        assert report._queueing_delays() is not first
+        report.invalidate_caches()
+        assert report._response_cache is None and report._queueing_cache is None
 
     def test_response_time_cache_reused_and_invalidated_on_append(self):
         server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
