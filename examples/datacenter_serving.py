@@ -15,6 +15,12 @@ subsystem on the operator's real questions:
 3. **Capacity planning** — `find_max_rate_under_slo`: the highest offered
    load each configuration sustains while keeping p95 response time under
    the SLO.
+4. **The batching tradeoff (Sec. III-A)** — `run_batching_comparison`: the
+   same configurations serve a sparse Poisson trace and a bursty high-rate
+   trace, unbatched and under dynamic / continuous batching.  DFX wins tail
+   latency where datacenters live (low load, no batch to gather); the GPU
+   only reaches competitive throughput on the bursty trace once batches
+   form — which is exactly why the paper serves text generation unbatched.
 
 Run with:  python examples/datacenter_serving.py
 """
@@ -23,7 +29,7 @@ from __future__ import annotations
 
 from repro import DFXAppliance, GPT2_1_5B, GPUAppliance
 from repro.analysis.reports import format_table
-from repro.analysis.experiments import run_serving_capacity
+from repro.analysis.experiments import run_batching_comparison, run_serving_capacity
 from repro.serving import (
     ApplianceFleet,
     ApplianceServer,
@@ -142,6 +148,32 @@ def main() -> None:
     ))
     print("\nThe second DFX cluster roughly doubles SLO-compliant capacity, and "
           "drafting the GPU appliance adds the rest of the rack's headroom.")
+
+    print("\n-- The batching tradeoff: unbatched latency vs batched throughput --\n")
+    batching = run_batching_comparison(GPT2_1_5B)
+    low_tails = batching.low_load_tail_latency_s()
+    high_rates = batching.high_load_tokens_per_second()
+    rows = []
+    for label in batching.low_load:
+        high = batching.high_load[label]
+        rows.append([
+            label,
+            low_tails[label],
+            high_rates[label],
+            high.mean_batch_size,
+            high.mean_batch_gather_delay_s,
+            100 * high.utilization,
+        ])
+    print(format_table(
+        ["configuration", "p99 low load (s)", "bursty tok/s",
+         "mean batch", "gather delay (s)", "bursty util %"],
+        rows,
+    ))
+    print(f"\nDFX serves every request alone and still holds the lowest tail "
+          f"latency at low load; dynamic batching buys the GPU "
+          f"{batching.gpu_batching_throughput_gain:.1f}x throughput on the bursty "
+          f"trace at the price of batch-gather latency — the paper's reason "
+          f"datacenters run text generation unbatched (Sec. III-A).")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,14 @@ at several generation lengths, and writes the results to
 baseline: ``--check`` re-measures and fails (exit 1) when any engine regresses
 by more than the tolerance (default 30%), which CI can run as a smoke gate.
 
+``--check-ratio`` is the hardware-independent companion gate: instead of the
+machine-specific absolute tokens/sec floor, it compares the *ratio* of
+functional-sim to reference-model throughput at each generation length
+against the same ratio in the committed baseline.  Both engines run on the
+same machine in the same process, so host speed cancels out and the gate
+catches regressions of the functional-sim hot path relative to the
+reference model even on runners much slower than the baseline machine.
+
 Methodology: each measurement reports the best of ``--repeats`` runs on a
 freshly constructed engine, after one warm-up generation that populates the
 program/link caches (steady-state throughput is the quantity the paper's
@@ -175,6 +183,67 @@ def check_regression(report: dict, committed_path: Path, tolerance: float) -> in
     return 0
 
 
+def _engine_ratios(report: dict) -> dict[int, float]:
+    """functional-sim / reference-model tokens/sec per generation length."""
+    by_key = {
+        (entry["engine"], entry["new_tokens"]): entry["tokens_per_second"]
+        for entry in report.get("entries", [])
+    }
+    ratios = {}
+    for engine, new_tokens in by_key:
+        if engine != "functional-sim":
+            continue
+        reference = by_key.get(("reference-model", new_tokens))
+        if reference:
+            ratios[new_tokens] = by_key[(engine, new_tokens)] / reference
+    return ratios
+
+
+def check_ratio_regression(report: dict, committed_path: Path, tolerance: float) -> int:
+    """Hardware-independent gate on the functional-vs-reference ratio.
+
+    Compares the measured functional-sim / reference-model tokens/sec ratio
+    at each generation length against the committed baseline's ratio.  Host
+    speed cancels out of the ratio, so this gate holds on runners much
+    slower (or faster) than the machine that refreshed the baseline.
+
+    Returns a process exit code: 0 when every measured ratio is within
+    ``tolerance`` of the committed one, 1 otherwise (or when the baseline
+    is absent or shares no comparable generation length).
+    """
+    if not committed_path.exists():
+        print(f"ERROR: no committed baseline at {committed_path}")
+        return 1
+    committed = _engine_ratios(json.loads(committed_path.read_text()))
+    measured = _engine_ratios(report)
+    failures = []
+    compared = 0
+    for new_tokens, baseline_ratio in sorted(committed.items()):
+        if new_tokens not in measured:
+            continue
+        compared += 1
+        floor = baseline_ratio * (1.0 - tolerance)
+        if measured[new_tokens] < floor:
+            failures.append(
+                f"@ {new_tokens} tokens: functional/reference ratio "
+                f"{measured[new_tokens]:.3f} < floor {floor:.3f} "
+                f"(committed {baseline_ratio:.3f}, tolerance {tolerance:.0%})"
+            )
+    if failures:
+        print("RELATIVE PERF REGRESSION DETECTED (functional-sim fell behind "
+              "the reference model):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    if compared == 0:
+        print("ERROR: no generation length has both engines in both the "
+              "measurement and the committed baseline — no ratio was checked")
+        return 1
+    print(f"ratio check OK: {compared} functional/reference ratios within "
+          f"{tolerance:.0%} of the baseline")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     def positive(value: str) -> int:
@@ -195,16 +264,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed baseline instead "
                              "of overwriting it; exit 1 on regression")
+    parser.add_argument("--check-ratio", action="store_true",
+                        help="hardware-independent gate: compare the "
+                             "functional-vs-reference tokens/sec ratio against "
+                             "the committed baseline; exit 1 on regression "
+                             "(combines with --check)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional tokens/sec drop in --check mode")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.30,
+                        help="allowed fractional drop of the functional-vs-"
+                             "reference ratio in --check-ratio mode")
     args = parser.parse_args(argv)
 
     print(f"hot-path benchmark: config={args.config}, "
           f"devices={args.num_devices}, repeats={args.repeats}")
     report = run_benchmark(args.config, args.tokens, args.repeats, args.num_devices)
 
-    if args.check:
-        return check_regression(report, args.output, args.tolerance)
+    if args.check or args.check_ratio:
+        # One measurement feeds both gates; either failing fails the run.
+        code = 0
+        if args.check:
+            code |= check_regression(report, args.output, args.tolerance)
+        if args.check_ratio:
+            code |= check_ratio_regression(report, args.output, args.ratio_tolerance)
+        return code
 
     if args.baseline is not None:
         embed_baseline(report, args.baseline)

@@ -33,9 +33,11 @@ from repro.analysis.workload_presets import (
 )
 from repro.analysis import experiments
 from repro.analysis.experiments import (
+    BatchingComparisonResult,
     SchedulerComparisonResult,
     ServingCapacityResult,
     fleet_capacity_plan,
+    run_batching_comparison,
     run_scheduler_comparison,
     run_serving_capacity,
 )
@@ -68,9 +70,11 @@ __all__ = [
     "PRIMARY_SETUP",
     "SCALABILITY_SETUP",
     "experiments",
+    "BatchingComparisonResult",
     "SchedulerComparisonResult",
     "ServingCapacityResult",
     "fleet_capacity_plan",
+    "run_batching_comparison",
     "run_scheduler_comparison",
     "run_serving_capacity",
 ]

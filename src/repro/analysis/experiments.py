@@ -42,14 +42,18 @@ from repro.model.numerics import FP16_DFX, FP16_GPU
 from repro.model.weights import generate_weights
 from repro.results import InferenceResult
 from repro.serving import (
+    CHATBOT_MIX,
     DATACENTER_MIX,
     ApplianceFleet,
     ApplianceServer,
     CapacityPlan,
+    ContinuousBatching,
+    DynamicBatching,
     FleetMember,
     PlatformModel,
     ServingReport,
     WorkloadMix,
+    bursty_trace,
     capacity_search,
     find_max_rate_under_slo,
     make_scheduler,
@@ -491,6 +495,114 @@ def fleet_capacity_plan(
         rate_bounds=rate_bounds,
         relative_tolerance=relative_tolerance,
         max_abandonment_rate=max_abandonment_rate,
+    )
+
+
+# ------------------------------------------------- Serving (batching tradeoff)
+@dataclass(frozen=True)
+class BatchingComparisonResult:
+    """The paper's latency-vs-throughput tradeoff (Sec. III-A), played out.
+
+    The same configurations serve two traces: a sparse Poisson trace
+    (``low_load``, the latency-bound regime datacenters actually run text
+    generation in) and a bursty high-rate trace (``high_load``, where the
+    GPU only keeps up once batches form).  Labels map configuration name
+    to its serving report.
+    """
+
+    low_load: dict[str, ServingReport]
+    high_load: dict[str, ServingReport]
+    percentile: float
+
+    def low_load_tail_latency_s(self) -> dict[str, float]:
+        """Tail response time per configuration on the low-load trace."""
+        return {
+            label: report.response_time_percentile_s(self.percentile)
+            for label, report in self.low_load.items()
+        }
+
+    def high_load_tokens_per_second(self) -> dict[str, float]:
+        """Sustained generated-token throughput on the bursty high-load trace."""
+        return {
+            label: report.output_tokens_per_second
+            for label, report in self.high_load.items()
+        }
+
+    @property
+    def dfx_wins_low_load_latency(self) -> bool:
+        """Unbatched DFX beats every batched GPU config on low-load tail latency."""
+        tails = self.low_load_tail_latency_s()
+        return all(
+            tails["dfx-unbatched"] < tail
+            for label, tail in tails.items()
+            if label.startswith("gpu")
+        )
+
+    @property
+    def gpu_batching_throughput_gain(self) -> float:
+        """Bursty-trace throughput of the dynamically batched GPU vs unbatched."""
+        rates = self.high_load_tokens_per_second()
+        if rates["gpu-unbatched"] <= 0:
+            return float("inf")
+        return rates["gpu-dynamic"] / rates["gpu-unbatched"]
+
+
+def run_batching_comparison(
+    config: GPT2Config = GPT2_1_5B,
+    *,
+    num_devices: int = 4,
+    mix: WorkloadMix = CHATBOT_MIX,
+    duration_s: float = 120.0,
+    low_rate_per_s: float = 0.25,
+    burst_rate_per_s: float = 4.0,
+    idle_rate_per_s: float = 0.1,
+    mean_burst_s: float = 10.0,
+    mean_idle_s: float = 10.0,
+    max_batch_size: int = 8,
+    batch_timeout_s: float = 2.0,
+    percentile: float = 99.0,
+    seed: int = 13,
+) -> BatchingComparisonResult:
+    """Serve low-load Poisson and high-load bursty traces across batch regimes.
+
+    Configurations: one DFX cluster unbatched (the paper's serving mode),
+    and one GPU appliance unbatched, under size-or-timeout dynamic
+    batching, and under the continuous-batching approximation.  The
+    expected outcome is the paper's argument in numbers: DFX wins tail
+    latency at low load (no batch to gather, faster per request), while
+    the GPU fleet only reaches competitive throughput on the bursty trace
+    once dynamic batching amortizes its kernel overhead.
+    """
+    dfx = DFXAppliance(config, num_devices=num_devices)
+    gpu = GPUAppliance(config, num_devices=num_devices)
+    low_trace = poisson_trace(low_rate_per_s, duration_s, mix, seed=seed)
+    high_trace = bursty_trace(
+        burst_rate_per_s,
+        idle_rate_per_s,
+        duration_s,
+        mean_burst_s=mean_burst_s,
+        mean_idle_s=mean_idle_s,
+        mix=mix,
+        seed=seed,
+    )
+    servers = {
+        "dfx-unbatched": ApplianceServer(dfx, 1, "dfx"),
+        "gpu-unbatched": ApplianceServer(gpu, 1, "gpu"),
+        "gpu-dynamic": ApplianceServer(
+            gpu, 1, "gpu",
+            batch_policy=DynamicBatching(max_batch_size, batch_timeout_s),
+            max_batch_size=max_batch_size,
+        ),
+        "gpu-continuous": ApplianceServer(
+            gpu, 1, "gpu",
+            batch_policy=ContinuousBatching(max_batch_size),
+            max_batch_size=max_batch_size,
+        ),
+    }
+    return BatchingComparisonResult(
+        low_load={label: server.serve(low_trace) for label, server in servers.items()},
+        high_load={label: server.serve(high_trace) for label, server in servers.items()},
+        percentile=percentile,
     )
 
 

@@ -9,9 +9,23 @@ Layout (see the module docstrings for details):
 * ``schedulers`` — pluggable dispatch policies (FIFO / SJF / priority /
   deadline); subclass ``SchedulingPolicy`` and register in ``SCHEDULERS``
   to add one.
+* ``batching``   — batch-formation policies (none / dynamic size-or-timeout /
+  continuous decode slots) and batch cost models; subclass
+  ``BatchFormationPolicy`` and register in ``BATCH_POLICIES`` to add one.
 * ``fleet``      — heterogeneous multi-appliance serving behind one queue.
 """
 
+from repro.serving.batching import (
+    BATCH_POLICIES,
+    BatchCostModel,
+    BatchFormationPolicy,
+    ContinuousBatching,
+    DynamicBatching,
+    GPUBatchCostModel,
+    NoBatching,
+    dominant_workload,
+    make_batch_policy,
+)
 from repro.serving.requests import (
     ARTICLE_MIX,
     CHATBOT_MIX,
@@ -19,6 +33,7 @@ from repro.serving.requests import (
     DEFAULT_SERVICE_CLASS,
     ServiceRequest,
     WorkloadMix,
+    bursty_trace,
     constant_trace,
     merge_traces,
     poisson_trace,
@@ -57,10 +72,20 @@ __all__ = [
     "DEFAULT_SERVICE_CLASS",
     "ServiceRequest",
     "WorkloadMix",
+    "bursty_trace",
     "constant_trace",
     "merge_traces",
     "poisson_trace",
     "with_service_levels",
+    "BATCH_POLICIES",
+    "BatchCostModel",
+    "BatchFormationPolicy",
+    "ContinuousBatching",
+    "DynamicBatching",
+    "GPUBatchCostModel",
+    "NoBatching",
+    "dominant_workload",
+    "make_batch_policy",
     "ABANDON_INFEASIBLE",
     "ABANDON_TIMEOUT",
     "ABANDON_UNSERVED",

@@ -10,7 +10,12 @@ dispatches greedily onto the idle unit that finishes the request earliest
 
 Scheduling policy (which request goes next) is orthogonal to fleet
 composition (where it runs) — any policy from
-``repro.serving.schedulers`` works unchanged.
+``repro.serving.schedulers`` works unchanged.  Batch formation is a third
+axis: a member with ``max_batch_size > 1`` (e.g. the GPU appliance)
+contributes batch-capable units priced through the GPU batching cost
+model, while DFX members keep the unbatched batch=1 passthrough — which is
+exactly the paper's asymmetry (Sec. III-A): the FPGA appliance serves each
+request alone for latency, the GPU needs gathered batches for throughput.
 """
 
 from __future__ import annotations
@@ -18,6 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.serving.batching import (
+    BatchFormationPolicy,
+    GPUBatchCostModel,
+    make_batch_policy,
+)
 from repro.serving.requests import ServiceRequest
 from repro.serving.schedulers import SchedulingPolicy, make_scheduler
 from repro.serving.server import LatencyOracle, PlatformModel, ServingReport
@@ -26,17 +36,25 @@ from repro.serving.simulator import ServerUnit, simulate
 
 @dataclass(frozen=True)
 class FleetMember:
-    """One appliance in the fleet: a platform model and its cluster count."""
+    """One appliance in the fleet: a platform model and its cluster count.
+
+    ``max_batch_size`` > 1 marks the member's clusters batch-capable; the
+    platform must then expose the GPU batching cost model
+    (``batched_request_latency_ms``).
+    """
 
     name: str
     platform: PlatformModel
     num_clusters: int = 1
+    max_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("fleet member needs a non-empty name")
         if self.num_clusters <= 0:
             raise ConfigurationError("num_clusters must be positive")
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
 
 
 class ApplianceFleet:
@@ -47,6 +65,7 @@ class ApplianceFleet:
         members: list[FleetMember] | tuple[FleetMember, ...],
         scheduler: str | SchedulingPolicy = "fifo",
         name: str | None = None,
+        batch_policy: str | BatchFormationPolicy = "none",
     ) -> None:
         if not members:
             raise ConfigurationError("a fleet needs at least one member")
@@ -55,10 +74,22 @@ class ApplianceFleet:
             raise ConfigurationError(f"fleet member names must be unique: {names}")
         self.members = tuple(members)
         self.scheduler = scheduler
+        self.batch_policy = batch_policy
         self.name = name or "+".join(names)
         # One oracle per member so repeated shapes stay cheap across traces.
         self._oracles = {
             member.name: LatencyOracle(member.platform) for member in self.members
+        }
+        # Batch cost models are validated eagerly so a misconfigured member
+        # (batch-capable but no batching interface) fails at fleet build
+        # time, not mid-simulation.
+        self._batch_costs = {
+            member.name: (
+                GPUBatchCostModel(member.platform)
+                if member.max_batch_size > 1
+                else None
+            )
+            for member in self.members
         }
 
     @property
@@ -73,7 +104,11 @@ class ApplianceFleet:
             for _ in range(member.num_clusters):
                 units.append(
                     ServerUnit(
-                        unit_id=len(units), appliance=member.name, oracle=oracle
+                        unit_id=len(units),
+                        appliance=member.name,
+                        oracle=oracle,
+                        max_batch_size=member.max_batch_size,
+                        batch_costs=self._batch_costs[member.name],
                     )
                 )
         return units
@@ -85,4 +120,5 @@ class ApplianceFleet:
             trace,
             scheduler=make_scheduler(self.scheduler),
             platform=self.name,
+            batching=make_batch_policy(self.batch_policy),
         )

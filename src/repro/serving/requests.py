@@ -3,8 +3,9 @@
 The paper motivates DFX with datacenter text-generation services (chatbots,
 article writing) and builds the appliance so one host can carry two
 independent FPGA clusters.  This module generates synthetic request traces —
-Poisson arrivals over a mix of workload shapes — that the serving simulator
-(`repro.serving.simulator`) replays against an appliance model.
+Poisson, evenly spaced, or on-off bursty arrivals over a mix of workload
+shapes — that the serving simulator (`repro.serving.simulator`) replays
+against an appliance model.
 
 Requests carry optional service-level attributes consumed by the scheduling
 policies in `repro.serving.schedulers`:
@@ -207,6 +208,80 @@ def constant_trace(
         )
         for i in range(num_requests)
     ]
+
+
+def bursty_trace(
+    burst_rate_per_s: float,
+    idle_rate_per_s: float,
+    duration_s: float,
+    *,
+    mean_burst_s: float = 10.0,
+    mean_idle_s: float = 10.0,
+    mix: WorkloadMix = CHATBOT_MIX,
+    seed: int = 0,
+    start_in_burst: bool = True,
+) -> list[ServiceRequest]:
+    """Generate an on-off (Markov-modulated Poisson) bursty request trace.
+
+    The process alternates between *burst* phases (Poisson arrivals at
+    ``burst_rate_per_s``) and *idle* phases (``idle_rate_per_s``, which may
+    be 0); phase lengths are exponentially distributed with the given
+    means.  This is the traffic where batching pays off: bursts stack the
+    queue faster than an unbatched server drains it, while a Poisson trace
+    of the same mean rate rarely does.
+
+    Args:
+        burst_rate_per_s: Arrival rate during burst phases (must exceed
+            the idle rate — otherwise the trace is not bursty).
+        idle_rate_per_s: Arrival rate during idle phases (0 = silent).
+        duration_s: Length of the trace window in seconds.
+        mean_burst_s: Mean burst-phase length.
+        mean_idle_s: Mean idle-phase length.
+        mix: Distribution of request shapes.
+        seed: RNG seed (traces are deterministic given the seed).
+        start_in_burst: Whether the first phase is a burst.
+
+    Returns:
+        Requests sorted by arrival time, all arriving within ``duration_s``;
+        compatible with :func:`with_service_levels` and :func:`merge_traces`
+        like every other trace builder.
+    """
+    if burst_rate_per_s <= 0:
+        raise ConfigurationError("burst_rate_per_s must be positive")
+    if idle_rate_per_s < 0:
+        raise ConfigurationError("idle_rate_per_s must be non-negative")
+    if burst_rate_per_s <= idle_rate_per_s:
+        raise ConfigurationError(
+            "burst_rate_per_s must exceed idle_rate_per_s (on-off separation)"
+        )
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if mean_burst_s <= 0 or mean_idle_s <= 0:
+        raise ConfigurationError("phase lengths must be positive")
+    rng = np.random.default_rng(seed)
+    requests: list[ServiceRequest] = []
+    phase_start = 0.0
+    in_burst = start_in_burst
+    while phase_start < duration_s:
+        mean_phase = mean_burst_s if in_burst else mean_idle_s
+        phase_end = min(phase_start + float(rng.exponential(mean_phase)), duration_s)
+        rate = burst_rate_per_s if in_burst else idle_rate_per_s
+        if rate > 0:
+            time_s = phase_start
+            while True:
+                time_s += float(rng.exponential(1.0 / rate))
+                if time_s >= phase_end:
+                    break
+                requests.append(
+                    ServiceRequest(
+                        request_id=len(requests),
+                        arrival_time_s=time_s,
+                        workload=mix.sample(rng),
+                    )
+                )
+        phase_start = phase_end
+        in_burst = not in_burst
+    return requests
 
 
 def with_service_levels(

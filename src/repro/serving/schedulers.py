@@ -58,6 +58,32 @@ class SchedulingPolicy:
         """Indices of queued requests this policy gives up on (dropped now)."""
         return []
 
+    def select_batch(
+        self,
+        now: float,
+        queue: Sequence[ServiceRequest],
+        estimate: EstimateFn,
+        max_size: int,
+    ) -> list[int]:
+        """Indices into ``queue`` of up to ``max_size`` requests forming one batch.
+
+        The default composes ``select`` greedily: the policy's next pick
+        joins the batch, then the next, until the batch is full or the
+        policy declines — so FIFO batches the oldest requests, SJF the
+        shortest, priority the most urgent.  Override to co-schedule
+        requests that batch well together (e.g. similar output lengths).
+        """
+        remaining = list(queue)
+        positions = list(range(len(queue)))
+        picked: list[int] = []
+        while remaining and len(picked) < max_size:
+            index = self.select(now, remaining, estimate)
+            if index is None:
+                break
+            picked.append(positions.pop(index))
+            remaining.pop(index)
+        return picked
+
 
 class FIFOScheduler(SchedulingPolicy):
     """First-in-first-out: dispatch strictly in arrival order.

@@ -11,12 +11,15 @@ The serving subsystem is split across four modules:
   that replays a trace against any set of server units.
 * ``serving/schedulers.py`` — pluggable dispatch policies (FIFO, SJF,
   priority classes, deadline/EDF with infeasibility drops).
+* ``serving/batching.py`` — batch-formation policies (none, size-or-timeout
+  dynamic batching, continuous decode slots) and batch cost models.
 * ``serving/fleet.py`` — heterogeneous multi-appliance serving: several
   appliances (e.g. two DFX clusters plus a GPU baseline) behind one queue.
 
 The DFX server appliance hosts one or two independent FPGA clusters behind a
 dual-socket CPU (paper Fig. 5 / Sec. VI); each cluster serves one request at
-a time because text generation is run unbatched (Sec. III-A).  Per-request
+a time because text generation is run unbatched (Sec. III-A) — the batching
+layer exists to model the GPU side of that tradeoff.  Per-request
 service time comes from any platform model that exposes
 ``run(workload) -> InferenceResult`` (the DFX appliance simulator or the GPU
 baseline), so the same harness compares serving capacity across platforms.
@@ -31,6 +34,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.results import InferenceResult
+from repro.serving.batching import GPUBatchCostModel, make_batch_policy
 from repro.serving.requests import ServiceRequest
 from repro.workloads import Workload
 
@@ -67,13 +71,21 @@ class LatencyOracle:
 
 @dataclass(frozen=True)
 class CompletedRequest:
-    """Timing of one served request."""
+    """Timing of one served request.
+
+    ``batch_id`` groups the requests dispatched together as one batch
+    (``None`` on legacy records, meaning a singleton dispatch); under
+    gather-mode batching ``batch_size`` is the member count, under
+    continuous batching it is the decode-slot occupancy at admission.
+    """
 
     request: ServiceRequest
     start_time_s: float
     finish_time_s: float
     cluster_id: int
     appliance: str = ""
+    batch_id: int | None = None
+    batch_size: int = 1
 
     @property
     def queueing_delay_s(self) -> float:
@@ -133,6 +145,7 @@ class ServingReport:
     abandoned: list[AbandonedRequest] = field(default_factory=list)
     first_arrival_s: float = 0.0
     appliance_clusters: dict[str, int] = field(default_factory=dict)
+    batch_policy: str = "none"
     # Lazily-built statistic arrays, keyed on (list object, length) so both
     # appends and wholesale list replacement invalidate them (the cache holds
     # the list reference and compares with ``is``, so a freed list's id can
@@ -145,12 +158,16 @@ class ServingReport:
     _queueing_cache: tuple[list, int, np.ndarray] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    _batch_cache: tuple[list, int, tuple[np.ndarray, np.ndarray]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ stats
     def invalidate_caches(self) -> None:
         """Drop the lazily-built statistic arrays (after mutating ``completed``)."""
         self._response_cache = None
         self._queueing_cache = None
+        self._batch_cache = None
 
     def _cached_stat(self, cache_attr: str, extract) -> np.ndarray:
         """Per-completed-request statistic array, cached until ``completed``
@@ -255,12 +272,32 @@ class ServingReport:
         tokens = sum(c.request.workload.output_tokens for c in self.completed)
         return tokens / self.makespan_s
 
+    def iter_dispatches(self):
+        """One representative completed request per dispatch (batch).
+
+        Requests served together in one batch share their unit's busy
+        interval, so busy-time accounting must count each batch once.
+        Legacy records without a ``batch_id`` are their own dispatch.
+        """
+        seen: set[int] = set()
+        for completed in self.completed:
+            if completed.batch_id is None:
+                yield completed
+            elif completed.batch_id not in seen:
+                seen.add(completed.batch_id)
+                yield completed
+
     @property
     def utilization(self) -> float:
-        """Fraction of cluster-time spent serving (busy time / capacity)."""
+        """Fraction of cluster-time spent serving (busy time / capacity).
+
+        Busy time counts each dispatched batch once; under continuous
+        batching concurrent decode streams on one unit overlap, so values
+        above 1.0 are possible (and mean the decode slots were shared).
+        """
         if self.makespan_s <= 0 or self.num_clusters == 0:
             return 0.0
-        busy = sum(c.service_time_s for c in self.completed)
+        busy = sum(d.service_time_s for d in self.iter_dispatches())
         return busy / (self.makespan_s * self.num_clusters)
 
     def utilization_by_appliance(self) -> dict[str, float]:
@@ -269,14 +306,98 @@ class ServingReport:
         if self.makespan_s <= 0:
             return {name: 0.0 for name in clusters}
         busy: dict[str, float] = {name: 0.0 for name in clusters}
-        for completed in self.completed:
-            name = completed.appliance or self.platform
-            busy[name] = busy.get(name, 0.0) + completed.service_time_s
+        for dispatch in self.iter_dispatches():
+            name = dispatch.appliance or self.platform
+            busy[name] = busy.get(name, 0.0) + dispatch.service_time_s
         return {
             name: busy.get(name, 0.0) / (self.makespan_s * count)
             for name, count in clusters.items()
             if count > 0
         }
+
+    # ------------------------------------------------------------- batch stats
+    def _batch_stats(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-batch (sizes, gather delays), cached like the response times.
+
+        Grouping the completed list into batches is O(n); the batch
+        statistics below are hammered by sweep analysis just like the
+        percentile properties, so they share the same (list identity,
+        length)-keyed cache discipline.
+        """
+        cache = self._batch_cache
+        if (
+            cache is None
+            or cache[0] is not self.completed
+            or cache[1] != len(self.completed)
+        ):
+            sizes: dict[object, int] = {}
+            start: dict[object, float] = {}
+            oldest_arrival: dict[object, float] = {}
+            for index, completed in enumerate(self.completed):
+                key = completed.batch_id if completed.batch_id is not None else (
+                    "solo", index
+                )
+                arrival = completed.request.arrival_time_s
+                if key not in oldest_arrival or arrival < oldest_arrival[key]:
+                    oldest_arrival[key] = arrival
+                sizes[key] = completed.batch_size
+                start[key] = completed.start_time_s
+            stats = (
+                np.asarray(list(sizes.values()), dtype=np.int64),
+                np.asarray(
+                    [start[key] - oldest_arrival[key] for key in start],
+                    dtype=np.float64,
+                ),
+            )
+            cache = (self.completed, len(self.completed), stats)
+            self._batch_cache = cache
+        return cache[2]
+
+    @property
+    def num_batches(self) -> int:
+        """Dispatches performed (each gathered batch counts once)."""
+        return int(self._batch_stats()[0].size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average recorded batch size over dispatches (1.0 when unbatched)."""
+        sizes = self._batch_stats()[0]
+        if sizes.size == 0:
+            return 0.0
+        return float(sizes.mean())
+
+    def batch_size_distribution(self) -> dict[int, int]:
+        """Dispatch count by recorded batch size.
+
+        Gather-mode sizes are member counts; continuous-mode sizes are the
+        decode occupancy at admission.  An unbatched report is all 1s.
+        """
+        values, counts = np.unique(self._batch_stats()[0], return_counts=True)
+        return {int(value): int(count) for value, count in zip(values, counts)}
+
+    def batch_gather_delays_s(self) -> np.ndarray:
+        """Per-batch gather delay: dispatch time minus oldest member arrival.
+
+        For singleton dispatches this equals the request's queueing delay;
+        for gathered batches it is the wait the batch's oldest member paid
+        while the batch formed (the latency cost of batching the paper's
+        Sec. III-A argues about).  Returns a fresh array (the cached one
+        stays internal).
+        """
+        return self._batch_stats()[1].copy()
+
+    @property
+    def mean_batch_gather_delay_s(self) -> float:
+        delays = self._batch_stats()[1]
+        if delays.size == 0:
+            return 0.0
+        return float(delays.mean())
+
+    def batch_gather_delay_percentile_s(self, percentile: float) -> float:
+        delays = self._batch_stats()[1]
+        if delays.size == 0:
+            return 0.0
+        return float(np.percentile(delays, percentile))
 
     @property
     def abandonment_rate(self) -> float:
@@ -325,17 +446,43 @@ class ApplianceServer:
     per cluster (all sharing this appliance's latency oracle) and replays the
     trace under the chosen scheduling policy.  The default FIFO policy
     reproduces the original single-loop ``serve()`` semantics exactly.
+
+    ``batch_policy`` decides when batches form; ``max_batch_size`` is the
+    per-cluster capacity and defaults to the policy's own batch size, so
+    ``ApplianceServer(gpu, batch_policy="dynamic")`` batches without extra
+    plumbing (pass an explicit ``max_batch_size`` to cap it — capping to 1
+    forces the singleton passthrough even under a batching policy).  A
+    capacity above 1 makes every cluster batch-capable, which requires the
+    platform to expose the GPU batching cost model — see
+    :class:`~repro.serving.batching.GPUBatchCostModel`.  The defaults
+    (``"none"``, capacity 1) are the paper's unbatched regime and reproduce
+    the pre-batching simulator bit for bit.
     """
 
     def __init__(self, platform: PlatformModel, num_clusters: int = 1,
                  platform_name: str | None = None,
-                 scheduler: str | object = "fifo") -> None:
+                 scheduler: str | object = "fifo",
+                 batch_policy: str | object = "none",
+                 max_batch_size: int | None = None) -> None:
         if num_clusters <= 0:
             raise ConfigurationError("num_clusters must be positive")
         self.oracle = LatencyOracle(platform)
         self.num_clusters = num_clusters
         self.platform_name = platform_name or type(platform).__name__
         self.scheduler = scheduler
+        # Resolved once so the derived unit capacity always matches the
+        # policy that will run (a "dynamic" policy with default units would
+        # otherwise silently serve unbatched while the report claims
+        # batching ran).
+        self.batch_policy = make_batch_policy(batch_policy)
+        if max_batch_size is None:
+            max_batch_size = self.batch_policy.max_batch_size
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.batch_costs = (
+            GPUBatchCostModel(platform) if max_batch_size > 1 else None
+        )
 
     def serve(self, trace: list[ServiceRequest]) -> ServingReport:
         """Replay a request trace against this appliance's clusters."""
@@ -345,7 +492,13 @@ class ApplianceServer:
         from repro.serving.simulator import ServerUnit, simulate
 
         units = [
-            ServerUnit(unit_id=cluster, appliance=self.platform_name, oracle=self.oracle)
+            ServerUnit(
+                unit_id=cluster,
+                appliance=self.platform_name,
+                oracle=self.oracle,
+                max_batch_size=self.max_batch_size,
+                batch_costs=self.batch_costs,
+            )
             for cluster in range(self.num_clusters)
         ]
         return simulate(
@@ -353,6 +506,7 @@ class ApplianceServer:
             trace,
             scheduler=make_scheduler(self.scheduler),
             platform=self.platform_name,
+            batching=self.batch_policy,
         )
 
 
@@ -363,6 +517,8 @@ def saturation_sweep(
     num_clusters: int = 1,
     platform_name: str | None = None,
     scheduler: str | object = "fifo",
+    batch_policy: str | object = "none",
+    max_batch_size: int | None = None,
 ) -> dict[float, ServingReport]:
     """Serve the same workload mix at increasing arrival rates.
 
@@ -375,6 +531,8 @@ def saturation_sweep(
         num_clusters=num_clusters,
         platform_name=platform_name,
         scheduler=scheduler,
+        batch_policy=batch_policy,
+        max_batch_size=max_batch_size,
     )
     return {rate: server.serve(trace_builder(rate)) for rate in arrival_rates}
 
@@ -487,6 +645,8 @@ def find_max_rate_under_slo(
     num_clusters: int = 1,
     platform_name: str | None = None,
     scheduler: str | object = "fifo",
+    batch_policy: str | object = "none",
+    max_batch_size: int | None = None,
     rate_bounds: tuple[float, float] = (0.05, 64.0),
     relative_tolerance: float = 0.05,
     max_abandonment_rate: float = 0.0,
@@ -502,6 +662,8 @@ def find_max_rate_under_slo(
         num_clusters=num_clusters,
         platform_name=platform_name,
         scheduler=scheduler,
+        batch_policy=batch_policy,
+        max_batch_size=max_batch_size,
     )
     return capacity_search(
         server.serve,

@@ -1,13 +1,13 @@
 """Discrete-event core of the serving subsystem.
 
 One event loop replays a request trace against an arbitrary set of
-:class:`ServerUnit` s (clusters), each backed by a latency oracle.  Two event
-kinds exist — request arrival and service completion — and between events
-the scheduler is asked which queued request to dispatch onto which idle unit.
-The same loop powers the single-appliance :class:`~repro.serving.server.\
-ApplianceServer` (all units share one oracle) and the heterogeneous
-:class:`~repro.serving.fleet.ApplianceFleet` (units from different
-appliances with different speeds behind one queue).
+:class:`ServerUnit` s (clusters), each backed by a latency oracle.  Three
+event kinds exist — request arrival, service completion, and batch flush —
+and between events the scheduler is asked which queued request(s) to
+dispatch onto which idle unit.  The same loop powers the single-appliance
+:class:`~repro.serving.server.ApplianceServer` (all units share one oracle)
+and the heterogeneous :class:`~repro.serving.fleet.ApplianceFleet` (units
+from different appliances with different speeds behind one queue).
 
 Dispatch rules:
 
@@ -21,6 +21,15 @@ Dispatch rules:
   id)`` min-heap choice, so FIFO scheduling reproduces the legacy
   ``ApplianceServer.serve()`` loop exactly; for a heterogeneous fleet it is
   a greedy earliest-finish load balancer.
+* The batch policy (``repro.serving.batching``) picks *how many* run
+  together.  Units with ``max_batch_size == 1`` (DFX clusters — the paper
+  serves text generation unbatched, Sec. III-A) always take the singleton
+  passthrough, priced by the per-request latency oracle; batch-capable
+  units (the GPU baseline) gather up to ``capacity`` queued requests under
+  the policy's size/timeout rules and price the batch through their
+  :class:`~repro.serving.batching.BatchCostModel`.  A held partial batch
+  registers a flush deadline so the loop wakes to dispatch it even when no
+  arrival or completion intervenes.
 """
 
 from __future__ import annotations
@@ -29,6 +38,11 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.serving.batching import (
+    BatchCostModel,
+    BatchFormationPolicy,
+    make_batch_policy,
+)
 from repro.serving.requests import ServiceRequest
 from repro.serving.schedulers import SchedulingPolicy
 from repro.serving.server import (
@@ -46,15 +60,36 @@ ABANDON_UNSERVED = "unserved"
 
 @dataclass
 class ServerUnit:
-    """One cluster of one appliance: serves a single request at a time."""
+    """One cluster of one appliance.
+
+    A unit serves one *dispatch* per slot at a time: a singleton request or
+    a gathered batch on gather-mode units (``slots == 1``), or up to
+    ``max_batch_size`` concurrent decode streams under continuous batching
+    (``slots`` is raised by :func:`simulate` when the policy is continuous).
+    Units with ``max_batch_size > 1`` must carry a ``batch_costs`` model;
+    ``max_batch_size == 1`` units never consult it (batch=1 passthrough).
+    """
 
     unit_id: int
     appliance: str
     oracle: LatencyOracle
     free_at_s: float = 0.0
-    busy: bool = False
+    max_batch_size: int = 1
+    batch_costs: BatchCostModel | None = None
+    # Runtime state, managed by the simulator.
+    active: int = 0
+    slots: int = 1
+
+    @property
+    def busy(self) -> bool:
+        return self.active >= self.slots
 
     def service_time_s(self, request: ServiceRequest) -> float:
+        """Estimated service time of ``request`` dispatched on this unit now."""
+        if self.slots > 1:
+            return self.batch_costs.continuous_latency_s(
+                request.workload, self.active + 1
+            )
         return self.oracle.service_time_s(request.workload)
 
 
@@ -64,12 +99,16 @@ class _SimulationState:
 
     units: list[ServerUnit]
     scheduler: SchedulingPolicy
+    batching: BatchFormationPolicy
     report: ServingReport
     # False when no request in the trace carries patience_s, letting dispatch
     # skip the per-event queue sweep (it can only ever be a no-op then).
     has_patience: bool = False
     queue: list[ServiceRequest] = field(default_factory=list)
     completions: list[tuple[float, int]] = field(default_factory=list)
+    # Earliest time a held partial batch must be forced out (inf = no hold).
+    flush_at_s: float = float("inf")
+    next_batch_id: int = 0
 
     def idle_units(self) -> list[ServerUnit]:
         return [unit for unit in self.units if not unit.busy]
@@ -81,6 +120,8 @@ class _SimulationState:
 
     def dispatch(self, now: float) -> None:
         """Start queued requests on idle units until one side runs out."""
+        # Any previously-registered hold is re-evaluated from scratch below.
+        self.flush_at_s = float("inf")
         if not self.queue or not self.idle_units():
             return
         # Patience ran out strictly before now: those requests left the
@@ -97,53 +138,124 @@ class _SimulationState:
             self.queue[:] = still_waiting
 
         def system_estimate(request: ServiceRequest) -> float:
-            # Service time on the best unit in the whole system — a lower
-            # bound on any achievable service time, so deadline policies
-            # can treat ``now + estimate(r) > deadline`` as a proof of
-            # infeasibility even when the fast units are momentarily busy.
-            return min(unit.service_time_s(request) for unit in self.units)
+            # Singleton service time on the best unit in the whole system — a
+            # lower bound on any achievable service time (batches only slow a
+            # member down), so deadline policies can treat
+            # ``now + estimate(r) > deadline`` as a proof of infeasibility
+            # even when the fast units are momentarily busy.
+            return min(
+                unit.oracle.service_time_s(request.workload) for unit in self.units
+            )
 
         dropped = self.scheduler.infeasible(now, self.queue, system_estimate)
         for index in sorted(set(dropped), reverse=True):
             self.abandon(self.queue.pop(index), now, ABANDON_INFEASIBLE)
 
+        # Units the batch policy chose to hold open this round: they stay
+        # idle waiting for their batch to fill, and must not be re-offered
+        # the same queue within this dispatch call.
+        held: set[int] = set()
         while self.queue:
-            idle = self.idle_units()
-            if not idle:
+            available = [
+                unit for unit in self.units
+                if not unit.busy and unit.unit_id not in held
+            ]
+            if not available:
                 return
 
             def idle_estimate(request: ServiceRequest) -> float:
-                # Service time on the best currently-idle unit — what this
-                # dispatch opportunity can actually achieve.  Policies may
-                # decline a request that only a busy (faster) unit can save.
-                return min(unit.service_time_s(request) for unit in idle)
+                # Service time on the best currently-available unit — what
+                # this dispatch opportunity can actually achieve.  Policies
+                # may decline a request that only a busy (faster) unit can
+                # save.
+                return min(unit.service_time_s(request) for unit in available)
 
             chosen = self.scheduler.select(now, self.queue, idle_estimate)
             if chosen is None:
                 return
-            request = self.queue.pop(chosen)
+            request = self.queue[chosen]
             unit = min(
-                idle,
+                available,
                 key=lambda u: (u.service_time_s(request), u.free_at_s, u.unit_id),
             )
-            self.start(request, unit, now)
-
-    def start(self, request: ServiceRequest, unit: ServerUnit, now: float) -> None:
-        result = unit.oracle.result_for(request.workload)
-        finish = now + result.latency_s
-        unit.busy = True
-        unit.free_at_s = finish
-        heapq.heappush(self.completions, (finish, unit.unit_id))
-        self.report.completed.append(
-            CompletedRequest(
-                request=request,
-                start_time_s=now,
-                finish_time_s=finish,
-                cluster_id=unit.unit_id,
-                appliance=unit.appliance,
+            capacity = (
+                1 if unit.slots > 1 else self.batching.capacity(unit.max_batch_size)
             )
-        )
-        self.report.total_energy_joules += result.energy_joules
+            if capacity <= 1:
+                # Singleton passthrough (DFX units, batch=1 policies, and
+                # continuous decode-slot admissions).
+                self.queue.pop(chosen)
+                self.start([request], unit, now)
+                continue
+            oldest_arrival = min(r.arrival_time_s for r in self.queue)
+            if not self.batching.ready(
+                now, oldest_arrival, len(self.queue), capacity
+            ):
+                # Hold this unit open for the batch to fill; the loop will
+                # wake at the flush deadline if nothing else intervenes.
+                # ``flush_at`` is computed from the oldest arrival, which can
+                # only move later, so the deadline is always in the future
+                # (``ready`` returns True once ``now`` reaches it).
+                held.add(unit.unit_id)
+                self.flush_at_s = min(
+                    self.flush_at_s, self.batching.flush_at(oldest_arrival)
+                )
+                continue
+            members = self.scheduler.select_batch(
+                now, self.queue, idle_estimate, capacity
+            )
+            if not members:
+                return
+            batch = [self.queue[index] for index in members]
+            for index in sorted(set(members), reverse=True):
+                self.queue.pop(index)
+            self.start(batch, unit, now)
+
+    def start(
+        self, requests: list[ServiceRequest], unit: ServerUnit, now: float
+    ) -> None:
+        """Dispatch one batch (singleton or gathered) onto ``unit``."""
+        if unit.slots > 1:
+            # Continuous decode slot: priced at the concurrency reached by
+            # this admission; recorded batch size is that decode occupancy.
+            concurrency = unit.active + 1
+            workload = requests[0].workload
+            latency_s = unit.batch_costs.continuous_latency_s(workload, concurrency)
+            energy_joules = unit.batch_costs.continuous_energy_joules(
+                workload, concurrency, latency_s
+            )
+            batch_size = concurrency
+        elif len(requests) == 1:
+            # The exact legacy arithmetic: singleton dispatches reproduce the
+            # unbatched simulator bit for bit regardless of the batch policy.
+            result = unit.oracle.result_for(requests[0].workload)
+            latency_s = result.latency_s
+            energy_joules = result.energy_joules
+            batch_size = 1
+        else:
+            workloads = [request.workload for request in requests]
+            latency_s = unit.batch_costs.batch_latency_s(workloads)
+            energy_joules = unit.batch_costs.batch_energy_joules(workloads, latency_s)
+            batch_size = len(requests)
+        finish = now + latency_s
+        unit.active += 1
+        unit.free_at_s = max(unit.free_at_s, finish)
+        heapq.heappush(self.completions, (finish, unit.unit_id))
+        batch_id = self.next_batch_id
+        self.next_batch_id += 1
+        for request in requests:
+            self.report.completed.append(
+                CompletedRequest(
+                    request=request,
+                    start_time_s=now,
+                    finish_time_s=finish,
+                    cluster_id=unit.unit_id,
+                    appliance=unit.appliance,
+                    batch_id=batch_id,
+                    batch_size=batch_size,
+                )
+            )
+        self.report.total_energy_joules += energy_joules
 
 
 def simulate(
@@ -151,18 +263,34 @@ def simulate(
     trace: list[ServiceRequest],
     scheduler: SchedulingPolicy,
     platform: str,
+    batching: BatchFormationPolicy | str | None = None,
 ) -> ServingReport:
-    """Replay ``trace`` against ``units`` under ``scheduler``.
+    """Replay ``trace`` against ``units`` under ``scheduler`` and ``batching``.
 
     Returns a :class:`~repro.serving.server.ServingReport` whose busy window
     (``first_arrival_s`` / ``makespan_s``) spans first arrival to last finish.
     Completed requests are recorded in dispatch order (for FIFO that is
-    arrival order, matching the legacy serve loop).
+    arrival order, matching the legacy serve loop).  ``batching`` defaults
+    to ``"none"``: every dispatch is a singleton and the simulation is
+    identical to the pre-batching simulator.
     """
     units_by_id = {unit.unit_id: unit for unit in units}
     if len(units_by_id) != len(units):
         raise ConfigurationError(
             f"server unit ids must be unique: {[u.unit_id for u in units]}"
+        )
+    policy = make_batch_policy(batching)
+    for unit in units:
+        if unit.max_batch_size < 1:
+            raise ConfigurationError(
+                f"unit {unit.unit_id}: max_batch_size must be >= 1"
+            )
+        if unit.max_batch_size > 1 and unit.batch_costs is None:
+            raise ConfigurationError(
+                f"unit {unit.unit_id}: batch-capable units need a batch_costs model"
+            )
+        unit.slots = (
+            policy.capacity(unit.max_batch_size) if policy.continuous else 1
         )
     appliance_clusters: dict[str, int] = {}
     for unit in units:
@@ -172,6 +300,7 @@ def simulate(
         num_clusters=len(units),
         scheduler=scheduler.name,
         appliance_clusters=appliance_clusters,
+        batch_policy=policy.name,
     )
     if not trace:
         return report
@@ -180,25 +309,40 @@ def simulate(
     state = _SimulationState(
         units=units,
         scheduler=scheduler,
+        batching=policy,
         report=report,
         has_patience=any(request.patience_s is not None for request in arrivals),
     )
+    inf = float("inf")
     next_arrival = 0
     now = arrivals[0].arrival_time_s
-    while next_arrival < len(arrivals) or state.completions:
+    while (
+        next_arrival < len(arrivals)
+        or state.completions
+        or state.flush_at_s < inf
+    ):
+        next_completion_s = state.completions[0][0] if state.completions else inf
+        next_arrival_s = (
+            arrivals[next_arrival].arrival_time_s
+            if next_arrival < len(arrivals)
+            else inf
+        )
         # Completions fire before arrivals at the same instant, lowest unit
-        # id first, mirroring the legacy min-heap pop order.
-        if state.completions and (
-            next_arrival >= len(arrivals)
-            or state.completions[0][0] <= arrivals[next_arrival].arrival_time_s
-        ):
+        # id first, mirroring the legacy min-heap pop order; flush deadlines
+        # yield to both (a coinciding completion or arrival re-runs dispatch
+        # anyway, which re-evaluates the hold).
+        if next_completion_s <= min(next_arrival_s, state.flush_at_s):
             now, unit_id = heapq.heappop(state.completions)
-            units_by_id[unit_id].busy = False
-        else:
+            units_by_id[unit_id].active -= 1
+        elif next_arrival_s <= state.flush_at_s:
             request = arrivals[next_arrival]
             next_arrival += 1
             state.queue.append(request)
             now = request.arrival_time_s
+        else:
+            # Wake to flush a held partial batch: ``dispatch`` re-asks the
+            # policy, whose ``ready`` now sees the deadline reached.
+            now = state.flush_at_s
         state.dispatch(now)
 
     # Custom policies may decline to dispatch; account for what they left.

@@ -40,3 +40,45 @@ class TokenProportionalPlatform:
             generation=StageLatency(latency_ms),
             total_power_watts=10.0,
         )
+
+
+class BatchableTokenPlatform:
+    """Test double with the GPU batching interface.
+
+    Mirrors the GPU baseline's shape: each decode step pays a fixed
+    overhead regardless of batch size plus a marginal cost per extra
+    batched row, so batching amortizes the fixed part.  Unbatched service
+    time is ``output_tokens * fixed_ms_per_token`` milliseconds, and
+    ``batched_request_latency_ms(w, 1)`` equals it exactly.
+    """
+
+    def __init__(self, fixed_ms_per_token: float = 100.0,
+                 marginal_ms_per_token: float = 10.0,
+                 power_watts: float = 50.0):
+        self.fixed_ms_per_token = fixed_ms_per_token
+        self.marginal_ms_per_token = marginal_ms_per_token
+        self.power_watts = power_watts
+
+    def batched_per_token_generation_ms(self, batch_size: int) -> float:
+        """Per-request share of one decode step at ``batch_size``."""
+        return (
+            self.fixed_ms_per_token
+            + (batch_size - 1) * self.marginal_ms_per_token
+        ) / batch_size
+
+    def batched_request_latency_ms(
+        self, workload: Workload, batch_size: int, batch_gather_ms: float = 0.0
+    ) -> float:
+        step_ms = self.batched_per_token_generation_ms(batch_size) * batch_size
+        return batch_gather_ms + workload.output_tokens * step_ms
+
+    def run(self, workload: Workload) -> InferenceResult:
+        return InferenceResult(
+            platform="batchable",
+            model_name="test",
+            workload=workload,
+            num_devices=1,
+            summarization=StageLatency(0.0),
+            generation=StageLatency(self.batched_request_latency_ms(workload, 1)),
+            total_power_watts=self.power_watts,
+        )

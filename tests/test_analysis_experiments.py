@@ -100,6 +100,55 @@ class TestEvaluationDrivers:
         assert 1.0 < factors[0] < 2.0
 
 
+class TestBatchingComparison:
+    """The paper's Sec. III-A tradeoff must play out on the tiny config."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run_batching_comparison(
+            GPT2_TEST_TINY,
+            num_devices=1,
+            duration_s=60.0,
+            low_rate_per_s=0.5,
+            burst_rate_per_s=20.0,
+            idle_rate_per_s=0.5,
+            mean_burst_s=6.0,
+            mean_idle_s=6.0,
+            batch_timeout_s=1.0,
+        )
+
+    def test_configurations_and_policies(self, result):
+        labels = {"dfx-unbatched", "gpu-unbatched", "gpu-dynamic", "gpu-continuous"}
+        assert set(result.low_load) == labels
+        assert set(result.high_load) == labels
+        assert result.low_load["dfx-unbatched"].batch_policy == "none"
+        assert result.high_load["gpu-dynamic"].batch_policy == "dynamic"
+        assert result.high_load["gpu-continuous"].batch_policy == "continuous"
+
+    def test_dfx_wins_unbatched_tail_latency_at_low_load(self, result):
+        tails = result.low_load_tail_latency_s()
+        assert result.dfx_wins_low_load_latency
+        assert tails["dfx-unbatched"] < tails["gpu-unbatched"]
+        assert tails["dfx-unbatched"] < tails["gpu-dynamic"]
+
+    def test_dynamic_batching_raises_gpu_throughput_under_bursty_load(self, result):
+        rates = result.high_load_tokens_per_second()
+        assert result.gpu_batching_throughput_gain > 1.2
+        assert rates["gpu-dynamic"] > rates["gpu-unbatched"]
+        # Batches actually formed on the bursty trace...
+        assert result.high_load["gpu-dynamic"].mean_batch_size > 1.5
+        # ...and the latency price was paid in gather delay.
+        assert (
+            result.high_load["gpu-dynamic"].mean_batch_gather_delay_s
+            > result.low_load["dfx-unbatched"].mean_batch_gather_delay_s
+        )
+
+    def test_every_report_conserves_requests(self, result):
+        for reports in (result.low_load, result.high_load):
+            offered = {report.num_offered for report in reports.values()}
+            assert len(offered) == 1  # same trace across configurations
+
+
 class TestTablesAndAccuracy:
     def test_table1_rows(self):
         rows = experiments.run_table1()

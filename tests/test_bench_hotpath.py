@@ -26,14 +26,26 @@ def _run(*args: str) -> subprocess.CompletedProcess:
     )
 
 
-def _synthetic_baseline(path: Path, tokens_per_second: float) -> None:
+def _synthetic_baseline(
+    path: Path,
+    tokens_per_second: float,
+    reference_tokens_per_second: float | None = None,
+) -> None:
+    rates = {
+        "functional-sim": tokens_per_second,
+        "reference-model": (
+            reference_tokens_per_second
+            if reference_tokens_per_second is not None
+            else tokens_per_second
+        ),
+    }
     path.write_text(json.dumps({
         "schema": 1,
         "config": "tiny",
         "entries": [
             {"engine": engine, "new_tokens": 4, "seconds": 1.0,
-             "tokens_per_second": tokens_per_second}
-            for engine in ("functional-sim", "reference-model")
+             "tokens_per_second": rate}
+            for engine, rate in rates.items()
         ],
     }))
 
@@ -68,6 +80,64 @@ def test_check_fails_on_regression(tmp_path):
 def test_check_fails_without_baseline(tmp_path):
     result = _run("--check", "--output", str(tmp_path / "missing.json"))
     assert result.returncode == 1
+
+
+def test_check_ratio_passes_against_easy_ratio(tmp_path):
+    # Committed ratio ~0.0001: any real measurement clears it regardless of
+    # how slow the host is (that is the point of the relative gate).
+    baseline = tmp_path / "baseline.json"
+    _synthetic_baseline(baseline, tokens_per_second=1.0,
+                        reference_tokens_per_second=10000.0)
+    result = _run("--check-ratio", "--output", str(baseline))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "ratio check OK" in result.stdout
+
+
+def test_check_ratio_fails_when_functional_falls_behind(tmp_path):
+    # Committed ratio 10000: impossible to reach, so the gate must fail even
+    # though the absolute floors in the same file are trivially cleared.
+    baseline = tmp_path / "baseline.json"
+    _synthetic_baseline(baseline, tokens_per_second=1.0,
+                        reference_tokens_per_second=0.0001)
+    result = _run("--check-ratio", "--output", str(baseline))
+    assert result.returncode == 1
+    assert "RELATIVE PERF REGRESSION DETECTED" in result.stdout
+
+
+def test_check_and_check_ratio_combine(tmp_path):
+    # Absolute floors pass (tiny committed tokens/sec) but the ratio gate
+    # fails: the combined run must still exit non-zero.
+    baseline = tmp_path / "baseline.json"
+    _synthetic_baseline(baseline, tokens_per_second=0.001,
+                        reference_tokens_per_second=1e-9)
+    result = _run("--check", "--check-ratio", "--output", str(baseline))
+    assert result.returncode == 1
+    assert "perf check OK" in result.stdout
+    assert "RELATIVE PERF REGRESSION DETECTED" in result.stdout
+
+
+def test_check_ratio_fails_without_comparable_entries(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "schema": 1,
+        "config": "tiny",
+        "entries": [{"engine": "functional-sim", "new_tokens": 4,
+                     "seconds": 1.0, "tokens_per_second": 1.0}],
+    }))
+    result = _run("--check-ratio", "--output", str(baseline))
+    assert result.returncode == 1
+    assert "no ratio was checked" in result.stdout
+
+
+def test_committed_baseline_supports_the_ratio_gate():
+    # The committed baseline must always carry both engines at shared
+    # generation lengths, or the CI ratio gate silently loses coverage.
+    report = json.loads((REPO_ROOT / "BENCH_hotpath.json").read_text())
+    by_engine = {}
+    for entry in report["entries"]:
+        by_engine.setdefault(entry["engine"], set()).add(entry["new_tokens"])
+    shared = by_engine["functional-sim"] & by_engine["reference-model"]
+    assert shared, "no generation length is shared between the two engines"
 
 
 def test_committed_baseline_is_well_formed():

@@ -11,6 +11,7 @@ from repro.serving.requests import (
     DATACENTER_MIX,
     ServiceRequest,
     WorkloadMix,
+    bursty_trace,
     constant_trace,
     merge_traces,
     poisson_trace,
@@ -219,6 +220,18 @@ class TestQueueingSimulator:
         report.invalidate_caches()
         assert report._response_cache is None and report._queueing_cache is None
 
+    def test_batch_stats_cached_like_response_times(self):
+        server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
+        report = server.serve(constant_trace(0.5, 10))
+        sizes, gathers = report._batch_stats()
+        assert report._batch_stats()[0] is sizes
+        # The public accessor hands out a copy, never the cached array.
+        assert report.batch_gather_delays_s() is not gathers
+        report.completed.append(report.completed[-1])
+        assert report._batch_stats()[0] is not sizes
+        report.invalidate_caches()
+        assert report._batch_cache is None
+
     def test_response_time_cache_reused_and_invalidated_on_append(self):
         server = ApplianceServer(_FixedLatencyPlatform(1.0), num_clusters=1)
         report = server.serve(constant_trace(interarrival_s=2.0, num_requests=5))
@@ -232,6 +245,162 @@ class TestQueueingSimulator:
         assert report._response_times() is not first
         assert report.num_requests == 6
         assert report.mean_response_time_s == pytest.approx(mean_before)
+
+
+class TestReportEdgeCases:
+    """Regression tests hardening ServingReport statistics at the edges."""
+
+    def test_empty_trace_every_statistic_is_zero_or_empty(self):
+        report = ApplianceServer(_FixedLatencyPlatform(1.0)).serve([])
+        assert report.num_offered == 0
+        assert report.mean_response_time_s == 0.0
+        assert report.mean_queueing_delay_s == 0.0
+        assert report.response_time_percentile_s(99) == 0.0
+        assert report.requests_per_hour == 0.0
+        assert report.output_tokens_per_second == 0.0
+        assert report.utilization == 0.0
+        assert report.abandonment_rate == 0.0
+        assert report.slo_violation_rate == 0.0
+        assert report.slo_attainment == 1.0
+        assert report.energy_per_request_joules == 0.0
+        assert report.service_classes() == []
+        assert report.percentiles_by_class(95) == {}
+        assert report.num_batches == 0
+        assert report.mean_batch_size == 0.0
+        assert report.batch_size_distribution() == {}
+        assert report.batch_gather_delays_s().size == 0
+        assert report.mean_batch_gather_delay_s == 0.0
+        assert report.batch_gather_delay_percentile_s(99) == 0.0
+
+    def test_single_request_statistics(self):
+        report = ApplianceServer(_FixedLatencyPlatform(2.0)).serve(
+            [ServiceRequest(0, 5.0, Workload(4, 8))]
+        )
+        assert report.num_requests == 1
+        assert report.first_arrival_s == pytest.approx(5.0)
+        assert report.makespan_s == pytest.approx(2.0)
+        assert report.mean_response_time_s == pytest.approx(2.0)
+        # Every percentile of a single sample is that sample.
+        for percentile in (1, 50, 99):
+            assert report.response_time_percentile_s(percentile) == pytest.approx(2.0)
+        assert report.requests_per_hour == pytest.approx(1800.0)
+        assert report.output_tokens_per_second == pytest.approx(4.0)
+        assert report.utilization == pytest.approx(1.0)
+        assert report.num_batches == 1
+        assert report.mean_batch_size == pytest.approx(1.0)
+
+    def test_zero_duration_busy_window_reports_zero_rates(self):
+        # A zero-latency platform completes the only request at its arrival
+        # instant: the busy window has zero width, so the rate statistics
+        # must report 0 instead of dividing by it.
+        report = ApplianceServer(_FixedLatencyPlatform(0.0), 1, "fixed").serve(
+            [ServiceRequest(0, 1.0, Workload(1, 1))]
+        )
+        assert report.num_requests == 1
+        assert report.makespan_s == 0.0
+        assert report.requests_per_hour == 0.0
+        assert report.output_tokens_per_second == 0.0
+        assert report.utilization == 0.0
+        assert report.utilization_by_appliance() == {"fixed": 0.0}
+        assert report.mean_response_time_s == 0.0
+
+    def test_percentiles_by_class_with_abandoned_only_class(self):
+        # One class completes; the other abandons every request.  The
+        # abandoned-only class must still appear (it was offered) with a
+        # 0.0 percentile, not crash or be silently dropped.
+        served = with_service_levels(
+            constant_trace(0.0, 1), service_class="served"
+        )
+        impatient = with_service_levels(
+            constant_trace(0.0, 2, start_time_s=0.0), patience_s=0.4,
+            service_class="impatient"
+        )
+        report = ApplianceServer(_FixedLatencyPlatform(1.0)).serve(
+            merge_traces(served, impatient)
+        )
+        # The first-dispatched request occupies the only cluster for 1 s;
+        # the two impatient ones time out at 0.4 s.
+        assert report.num_requests == 1
+        assert report.num_abandoned == 2
+        assert report.service_classes() == ["impatient", "served"]
+        by_class = report.percentiles_by_class(95)
+        assert by_class["impatient"] == 0.0
+        assert by_class["served"] > 0.0
+
+
+class TestBurstyTrace:
+    def test_deterministic_per_seed(self):
+        first = bursty_trace(8.0, 0.5, 60.0, seed=11)
+        second = bursty_trace(8.0, 0.5, 60.0, seed=11)
+        assert [r.arrival_time_s for r in first] == [
+            r.arrival_time_s for r in second
+        ]
+        assert [r.workload for r in first] == [r.workload for r in second]
+        different = bursty_trace(8.0, 0.5, 60.0, seed=12)
+        assert [r.arrival_time_s for r in first] != [
+            r.arrival_time_s for r in different
+        ]
+
+    def test_sorted_bounded_and_sequentially_numbered(self):
+        trace = bursty_trace(10.0, 1.0, 30.0, seed=2)
+        times = [r.arrival_time_s for r in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 30.0 for t in times)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_burst_and_idle_rates_separate(self):
+        # With silent idle phases the trace must contain long gaps (idle)
+        # and dense stretches (bursts): its per-window arrival counts are
+        # overdispersed relative to a Poisson trace of the same mean rate.
+        trace = bursty_trace(
+            20.0, 0.0, 200.0, mean_burst_s=5.0, mean_idle_s=5.0, seed=7
+        )
+        times = np.array([r.arrival_time_s for r in trace])
+        counts, _ = np.histogram(times, bins=np.arange(0.0, 201.0, 1.0))
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 2.0  # Poisson would be ~1
+        # The mean rate sits between the idle and burst rates.
+        assert 0.0 < len(trace) / 200.0 < 20.0
+
+    def test_silent_idle_phases_have_no_arrivals(self):
+        # idle_rate 0 with long idle phases: gaps longer than anything a
+        # burst phase would produce must exist.
+        trace = bursty_trace(
+            50.0, 0.0, 100.0, mean_burst_s=2.0, mean_idle_s=10.0, seed=4
+        )
+        gaps = np.diff([r.arrival_time_s for r in trace])
+        assert gaps.max() > 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bursty_trace(0.0, 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            bursty_trace(5.0, -1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            bursty_trace(5.0, 5.0, 10.0)  # no on-off separation
+        with pytest.raises(ConfigurationError):
+            bursty_trace(5.0, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            bursty_trace(5.0, 1.0, 10.0, mean_burst_s=0.0)
+        with pytest.raises(ConfigurationError):
+            bursty_trace(5.0, 1.0, 10.0, mean_idle_s=-1.0)
+
+    def test_compatible_with_service_levels_and_merge(self):
+        bursty = with_service_levels(
+            bursty_trace(10.0, 0.5, 20.0, seed=1), service_class="bursty",
+            slo_s=5.0,
+        )
+        steady = with_service_levels(
+            poisson_trace(1.0, 20.0, seed=2), service_class="steady"
+        )
+        merged = merge_traces(bursty, steady)
+        assert len(merged) == len(bursty) + len(steady)
+        assert [r.request_id for r in merged] == list(range(len(merged)))
+        times = [r.arrival_time_s for r in merged]
+        assert times == sorted(times)
+        assert {r.service_class for r in merged} == {"bursty", "steady"}
+        report = ApplianceServer(_FixedLatencyPlatform(0.1), 2).serve(merged)
+        assert report.num_offered == len(merged)
 
 
 class TestWithRealPlatformModels:

@@ -1,0 +1,274 @@
+"""Property tests: simulator invariants on seeded randomized traces.
+
+Every scenario draws a random trace (shapes, arrival process, service
+levels), a random serving configuration (scheduler, cluster counts,
+fleet composition, batch policy), runs the discrete-event simulator, and
+checks invariants that must hold for *any* configuration:
+
+* conservation — every offered request is completed or abandoned, once;
+* no double-booking — a unit's dispatch intervals never overlap (never
+  exceed the decode-slot count under continuous batching);
+* event monotonicity — dispatch order is chronological and every record's
+  own times are ordered (arrival <= start <= finish);
+* report/oracle agreement — every ``ServingReport`` statistic matches a
+  from-scratch recompute over the raw completed/abandoned records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ApplianceFleet,
+    ApplianceServer,
+    ContinuousBatching,
+    DynamicBatching,
+    FleetMember,
+    SCHEDULERS,
+    ServiceRequest,
+)
+from repro.workloads import Workload
+from serving_doubles import (
+    BatchableTokenPlatform as _BatchableTokenPlatform,
+    FixedLatencyPlatform as _FixedLatencyPlatform,
+    TokenProportionalPlatform as _TokenProportionalPlatform,
+)
+
+SEEDS = list(range(12))
+
+
+def random_trace(rng: np.random.Generator) -> list[ServiceRequest]:
+    """A random request trace: bursty-ish arrivals, mixed service levels."""
+    count = int(rng.integers(0, 45))
+    trace = []
+    time_s = 0.0
+    for request_id in range(count):
+        time_s += float(rng.exponential(0.4)) * (0.1 if rng.random() < 0.3 else 1.0)
+        workload = Workload(
+            int(rng.integers(1, 64)), int(rng.integers(1, 24))
+        )
+        slo_s = float(rng.uniform(0.5, 20.0)) if rng.random() < 0.4 else None
+        patience_s = float(rng.uniform(0.5, 15.0)) if rng.random() < 0.4 else None
+        trace.append(
+            ServiceRequest(
+                request_id=request_id,
+                arrival_time_s=time_s,
+                workload=workload,
+                priority=int(rng.integers(0, 3)),
+                slo_s=slo_s,
+                patience_s=patience_s,
+                service_class=str(rng.choice(["chat", "article", "default"])),
+            )
+        )
+    return trace
+
+
+def random_scenario(seed: int):
+    """Build (trace, server, context) for one randomized configuration."""
+    rng = np.random.default_rng(seed)
+    trace = random_trace(rng)
+    scheduler = str(rng.choice(sorted(SCHEDULERS)))
+    batch_choice = str(rng.choice(["none", "dynamic", "continuous"]))
+    max_batch_size = int(rng.integers(2, 6))
+    if batch_choice == "dynamic":
+        batch_policy = DynamicBatching(max_batch_size, float(rng.uniform(0.0, 2.0)))
+    elif batch_choice == "continuous":
+        batch_policy = ContinuousBatching(max_batch_size)
+    else:
+        batch_policy, max_batch_size = "none", 1
+    if rng.random() < 0.5:
+        server = ApplianceServer(
+            _BatchableTokenPlatform(
+                fixed_ms_per_token=float(rng.uniform(50.0, 400.0)),
+                marginal_ms_per_token=float(rng.uniform(1.0, 40.0)),
+            ),
+            num_clusters=int(rng.integers(1, 4)),
+            platform_name="solo",
+            scheduler=scheduler,
+            batch_policy=batch_policy,
+            max_batch_size=max_batch_size,
+        )
+    else:
+        server = ApplianceFleet(
+            [
+                FleetMember(
+                    "fast",
+                    _FixedLatencyPlatform(float(rng.uniform(0.2, 1.5))),
+                    num_clusters=int(rng.integers(1, 3)),
+                ),
+                FleetMember(
+                    "batchy",
+                    _BatchableTokenPlatform(
+                        fixed_ms_per_token=float(rng.uniform(100.0, 500.0))
+                    ),
+                    num_clusters=int(rng.integers(1, 3)),
+                    max_batch_size=max_batch_size if max_batch_size > 1 else 4,
+                ),
+            ],
+            scheduler=scheduler,
+            batch_policy=batch_policy,
+        )
+    continuous = isinstance(batch_policy, ContinuousBatching)
+    return trace, server, {"continuous": continuous,
+                           "max_batch_size": max_batch_size}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSimulatorInvariants:
+    def test_conservation(self, seed):
+        trace, server, _ = random_scenario(seed)
+        report = server.serve(trace)
+        # offered == completed + abandoned, and each request appears exactly
+        # once across the two outcome lists.
+        assert report.num_offered == len(trace)
+        outcome_ids = sorted(
+            [c.request.request_id for c in report.completed]
+            + [a.request.request_id for a in report.abandoned]
+        )
+        assert outcome_ids == sorted(r.request_id for r in trace)
+
+    def test_no_unit_double_booking(self, seed):
+        trace, server, context = random_scenario(seed)
+        report = server.serve(trace)
+        intervals_by_unit: dict[int, list[tuple[float, float]]] = {}
+        seen_batches = set()
+        for completed in report.completed:
+            if completed.batch_id in seen_batches:
+                continue
+            seen_batches.add(completed.batch_id)
+            intervals_by_unit.setdefault(completed.cluster_id, []).append(
+                (completed.start_time_s, completed.finish_time_s)
+            )
+        limit = context["max_batch_size"] if context["continuous"] else 1
+        for intervals in intervals_by_unit.values():
+            events = []
+            for start, finish in intervals:
+                events.append((start, 1))
+                events.append((finish, -1))
+            concurrent = 0
+            # Finishes release before coincident starts claim the slot.
+            for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+                concurrent += delta
+                assert concurrent <= limit
+
+    def test_event_times_monotone(self, seed):
+        trace, server, _ = random_scenario(seed)
+        report = server.serve(trace)
+        starts = [c.start_time_s for c in report.completed]
+        # Dispatch order is chronological...
+        assert starts == sorted(starts)
+        # ...and each record's own timeline is ordered.
+        for completed in report.completed:
+            assert completed.request.arrival_time_s <= completed.start_time_s
+            assert completed.start_time_s <= completed.finish_time_s
+        for abandoned in report.abandoned:
+            assert abandoned.abandoned_time_s >= abandoned.request.arrival_time_s
+
+    def test_report_matches_recompute_oracle(self, seed):
+        trace, server, _ = random_scenario(seed)
+        report = server.serve(trace)
+        completed, abandoned = report.completed, report.abandoned
+
+        responses = [c.finish_time_s - c.request.arrival_time_s for c in completed]
+        queueing = [c.start_time_s - c.request.arrival_time_s for c in completed]
+        assert report.num_requests == len(completed)
+        assert report.num_abandoned == len(abandoned)
+        assert report.num_offered == len(completed) + len(abandoned)
+
+        if completed:
+            assert report.mean_response_time_s == pytest.approx(np.mean(responses))
+            assert report.mean_queueing_delay_s == pytest.approx(np.mean(queueing))
+            for percentile in (50.0, 95.0, 99.0):
+                assert report.response_time_percentile_s(percentile) == pytest.approx(
+                    np.percentile(responses, percentile)
+                )
+            first_arrival = min(r.arrival_time_s for r in trace)
+            makespan = max(c.finish_time_s for c in completed) - first_arrival
+            assert report.first_arrival_s == pytest.approx(first_arrival)
+            assert report.makespan_s == pytest.approx(makespan)
+            if makespan > 0:
+                assert report.requests_per_hour == pytest.approx(
+                    len(completed) / makespan * 3600.0
+                )
+                tokens = sum(c.request.workload.output_tokens for c in completed)
+                assert report.output_tokens_per_second == pytest.approx(
+                    tokens / makespan
+                )
+                busy = {}
+                for c in completed:
+                    busy.setdefault(c.batch_id, c.finish_time_s - c.start_time_s)
+                assert report.utilization == pytest.approx(
+                    sum(busy.values()) / (makespan * report.num_clusters)
+                )
+        else:
+            assert report.mean_response_time_s == 0.0
+            assert report.response_time_percentile_s(99) == 0.0
+            assert report.utilization == 0.0
+
+        # Abandonment and SLO accounting.
+        if report.num_offered:
+            assert report.abandonment_rate == pytest.approx(
+                len(abandoned) / (len(completed) + len(abandoned))
+            )
+        late = sum(
+            1
+            for c in completed
+            if c.request.slo_s is not None
+            and c.finish_time_s - c.request.arrival_time_s > c.request.slo_s
+        )
+        dropped = sum(1 for a in abandoned if a.request.slo_s is not None)
+        assert report.slo_violations == late + dropped
+        sloed = sum(1 for c in completed if c.request.slo_s is not None) + dropped
+        if sloed:
+            assert report.slo_violation_rate == pytest.approx((late + dropped) / sloed)
+        assert report.slo_attainment == pytest.approx(1.0 - report.slo_violation_rate)
+
+        # Per-class percentiles match a filtered recompute.
+        classes = sorted(
+            {c.request.service_class for c in completed}
+            | {a.request.service_class for a in abandoned}
+        )
+        assert report.service_classes() == classes
+        by_class = report.percentiles_by_class(95.0)
+        for label in classes:
+            values = [
+                c.finish_time_s - c.request.arrival_time_s
+                for c in completed
+                if c.request.service_class == label
+            ]
+            expected = np.percentile(values, 95.0) if values else 0.0
+            assert by_class[label] == pytest.approx(expected)
+
+        # Batch statistics match a recompute over batch groups.
+        groups: dict[object, list] = {}
+        for index, c in enumerate(completed):
+            key = c.batch_id if c.batch_id is not None else ("solo", index)
+            groups.setdefault(key, []).append(c)
+        assert report.num_batches == len(groups)
+        if groups:
+            sizes = [members[0].batch_size for members in groups.values()]
+            assert report.mean_batch_size == pytest.approx(np.mean(sizes))
+            distribution: dict[int, int] = {}
+            for size in sizes:
+                distribution[size] = distribution.get(size, 0) + 1
+            assert report.batch_size_distribution() == distribution
+            gathers = sorted(
+                members[0].start_time_s
+                - min(m.request.arrival_time_s for m in members)
+                for members in groups.values()
+            )
+            assert sorted(report.batch_gather_delays_s()) == pytest.approx(gathers)
+            assert report.mean_batch_gather_delay_s == pytest.approx(np.mean(gathers))
+            assert report.batch_gather_delay_percentile_s(90.0) == pytest.approx(
+                np.percentile(gathers, 90.0)
+            )
+        else:
+            assert report.mean_batch_size == 0.0
+            assert report.batch_gather_delays_s().size == 0
+
+    def test_completed_requests_meet_their_recorded_unit(self, seed):
+        trace, server, _ = random_scenario(seed)
+        report = server.serve(trace)
+        valid_units = set(range(report.num_clusters))
+        for completed in report.completed:
+            assert completed.cluster_id in valid_units
+            assert completed.appliance in report.appliance_clusters
