@@ -21,15 +21,27 @@ subsystem on the operator's real questions:
    latency where datacenters live (low load, no batch to gather); the GPU
    only reaches competitive throughput on the bursty trace once batches
    form — which is exactly why the paper serves text generation unbatched.
+5. **Batch-aware capacity planning** — `run_batch_capacity_sweep`: how much
+   extra SLO-compliant offered load each step of `max_batch_size` buys the
+   GPU appliance.
+
+Every appliance below comes from the unified backend registry
+(`make_backend("dfx", ...)` / `make_backend("gpu", ...)`): the serving
+front ends, the fleet, and the capacity searches all consume the same
+`Backend` protocol.
 
 Run with:  python examples/datacenter_serving.py
 """
 
 from __future__ import annotations
 
-from repro import DFXAppliance, GPT2_1_5B, GPUAppliance
+from repro import GPT2_1_5B, make_backend
 from repro.analysis.reports import format_table
-from repro.analysis.experiments import run_batching_comparison, run_serving_capacity
+from repro.analysis.experiments import (
+    run_batch_capacity_sweep,
+    run_batching_comparison,
+    run_serving_capacity,
+)
 from repro.serving import (
     ApplianceFleet,
     ApplianceServer,
@@ -98,8 +110,8 @@ def main() -> None:
           f"{interactive} interactive (SLO {INTERACTIVE_SLO_S:.0f}s, patience "
           f"{INTERACTIVE_PATIENCE_S:.0f}s) + {len(trace) - interactive} batch ==\n")
 
-    dfx_platform = DFXAppliance(GPT2_1_5B, num_devices=4)
-    gpu_platform = GPUAppliance(GPT2_1_5B, num_devices=4)
+    dfx_platform = make_backend("dfx", config=GPT2_1_5B, devices=4)
+    gpu_platform = make_backend("gpu", config=GPT2_1_5B, devices=4)
 
     print("-- Scheduling policies on the 4U host (DFX, 2 clusters) --\n")
     rows = [
@@ -174,6 +186,26 @@ def main() -> None:
           f"{batching.gpu_batching_throughput_gain:.1f}x throughput on the bursty "
           f"trace at the price of batch-gather latency — the paper's reason "
           f"datacenters run text generation unbatched (Sec. III-A).")
+
+    print("\n-- Batch-aware capacity: max GPU load under a p95 SLO, per batch size --\n")
+    sweep = run_batch_capacity_sweep(
+        "gpu", config=GPT2_1_5B, slo_s=30.0, batch_sizes=(1, 2, 4, 8),
+        batch_timeout_s=1.0,
+    )
+    print(format_table(
+        ["max batch size", "max rate (req/s)", "max load (req/hour)",
+         "mean batch @ capacity"],
+        [
+            [size, plan.max_rate_per_s, plan.max_requests_per_hour,
+             plan.report_at_capacity.mean_batch_size
+             if plan.report_at_capacity else 0.0]
+            for size, plan in sweep.plans.items()
+        ],
+    ))
+    print(f"\nBatch size {sweep.best_batch_size()} sustains "
+          f"{sweep.batching_capacity_gain:.1f}x the unbatched SLO-compliant "
+          f"load: the operator's other lever once the latency budget allows "
+          f"gathering at all.")
 
 
 if __name__ == "__main__":

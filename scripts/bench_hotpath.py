@@ -41,6 +41,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.backends import available_backends, make_backend  # noqa: E402
 from repro.core.functional import DFXFunctionalSimulator  # noqa: E402
 from repro.model.config import GPT2_TEST_SMALL, GPT2_TEST_TINY  # noqa: E402
 from repro.model.generation import TextGenerator  # noqa: E402
@@ -52,6 +53,8 @@ SCHEMA_VERSION = 1
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
 CONFIGS = {"tiny": GPT2_TEST_TINY, "small": GPT2_TEST_SMALL}
 PROMPT = [5, 111, 42, 7]
+#: The engines the committed baseline tracks (and the default bench set).
+DEFAULT_ENGINES = ("functional-sim", "reference-model")
 
 
 def _time_best(factory, new_tokens: int, repeats: int) -> float:
@@ -92,15 +95,59 @@ def _reference_factory(weights):
     return factory
 
 
+def _backend_factory(backend_name, weights, config, num_devices):
+    """Bench a registered backend's functional generation path.
+
+    The backend is rebuilt per repeat (like the other engines) and must
+    declare ``generates_tokens`` in its capabilities — analytic backends
+    have no hot path to measure.  ``dfx-sim`` measures the runtime stack:
+    per-request simulator construction plus the decode loop.
+    """
+    probe = make_backend(backend_name, config=config, devices=num_devices)
+    if not probe.capabilities().generates_tokens:
+        raise SystemExit(
+            f"engine {backend_name!r} cannot be benchmarked: its capabilities "
+            f"report generates_tokens=False (nothing executes a hot path)"
+        )
+
+    def factory():
+        backend = make_backend(
+            backend_name, config=config, devices=num_devices, weights=weights
+        )
+        # The runtime builds a fresh functional simulator per request, so
+        # each generate call is already a clean run; nothing to reset.
+        return (
+            lambda n: backend.generate(PROMPT, max_new_tokens=n),
+            lambda: None,
+        )
+    return factory
+
+
+def _resolve_engines(engines, weights, config, num_devices):
+    """Map engine names (built-in or registered backends) to factories."""
+    factories = {}
+    for name in engines:
+        if name == "functional-sim":
+            factories[name] = _functional_factory(weights, num_devices)
+        elif name == "reference-model":
+            factories[name] = _reference_factory(weights)
+        elif name in available_backends():
+            factories[name] = _backend_factory(name, weights, config, num_devices)
+        else:
+            raise SystemExit(
+                f"unknown engine {name!r}; built-ins: {list(DEFAULT_ENGINES)}, "
+                f"registered backends: {available_backends()}"
+            )
+    return factories
+
+
 def run_benchmark(config_name: str, tokens: list[int], repeats: int,
-                  num_devices: int) -> dict:
-    """Measure both engines at every generation length."""
+                  num_devices: int,
+                  engines: tuple[str, ...] = DEFAULT_ENGINES) -> dict:
+    """Measure every requested engine at every generation length."""
     config = CONFIGS[config_name]
     weights = generate_weights(config, seed=7)
-    engines = {
-        "functional-sim": _functional_factory(weights, num_devices),
-        "reference-model": _reference_factory(weights),
-    }
+    engines = _resolve_engines(engines, weights, config, num_devices)
     entries = []
     for engine_name, factory in engines.items():
         for new_tokens in tokens:
@@ -255,6 +302,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--config", choices=sorted(CONFIGS), default="tiny")
     parser.add_argument("--tokens", type=positive, nargs="+", default=[16, 32, 64])
     parser.add_argument("--repeats", type=positive, default=3)
+    parser.add_argument("--engines", nargs="+", default=list(DEFAULT_ENGINES),
+                        metavar="ENGINE",
+                        help="engines to bench: the built-ins "
+                             "(functional-sim, reference-model) and/or any "
+                             "registered backend name with a functional "
+                             "generation path (e.g. dfx-sim)")
     parser.add_argument("--num-devices", type=int, default=4,
                         help="cluster size (default 4, the paper's primary setup)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
@@ -276,9 +329,24 @@ def main(argv: list[str] | None = None) -> int:
                              "reference ratio in --check-ratio mode")
     args = parser.parse_args(argv)
 
+    if (
+        not (args.check or args.check_ratio)
+        and set(args.engines) != set(DEFAULT_ENGINES)
+        and args.output.resolve() == DEFAULT_OUTPUT.resolve()
+    ):
+        # The default output IS the committed baseline the CI gates compare
+        # against; a report missing the default engines would break --check
+        # for everyone.  Checked before measuring so no work is wasted.
+        print(f"ERROR: refusing to overwrite the committed baseline "
+              f"{DEFAULT_OUTPUT.name} with a non-default engine set "
+              f"{args.engines}; pass --output elsewhere")
+        return 1
+
     print(f"hot-path benchmark: config={args.config}, "
-          f"devices={args.num_devices}, repeats={args.repeats}")
-    report = run_benchmark(args.config, args.tokens, args.repeats, args.num_devices)
+          f"devices={args.num_devices}, repeats={args.repeats}, "
+          f"engines={args.engines}")
+    report = run_benchmark(args.config, args.tokens, args.repeats,
+                           args.num_devices, engines=tuple(args.engines))
 
     if args.check or args.check_ratio:
         # One measurement feeds both gates; either failing fails the run.

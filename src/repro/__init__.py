@@ -14,16 +14,19 @@ The package builds the whole system in software:
 * :mod:`repro.core` — the DFX compute core / cluster / appliance timing
   simulator plus a functional interpreter for correctness checks;
 * :mod:`repro.baselines` — calibrated V100 GPU appliance and TPU models;
+* :mod:`repro.backends` — the unified :class:`Backend` protocol and the
+  string-keyed registry (``make_backend("dfx", devices=4)``) every serving,
+  analysis, CLI, and benchmark entry point consumes;
 * :mod:`repro.analysis` — metrics, breakdowns, cost/energy analysis, and one
   experiment driver per paper table and figure.
 
 Quickstart::
 
-    from repro import DFXAppliance, GPUAppliance, GPT2_1_5B, Workload
+    from repro import Workload, make_backend
 
     workload = Workload(input_tokens=64, output_tokens=64)
-    dfx = DFXAppliance(GPT2_1_5B, num_devices=4).run(workload)
-    gpu = GPUAppliance(GPT2_1_5B, num_devices=4).run(workload)
+    dfx = make_backend("dfx", devices=4).estimate(workload)
+    gpu = make_backend("gpu", devices=4).estimate(workload)
     print(f"speedup: {gpu.latency_ms / dfx.latency_ms:.2f}x")
 """
 
@@ -53,6 +56,15 @@ from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.functional import DFXFunctionalSimulator
 from repro.baselines.gpu import GPUAppliance
 from repro.baselines.tpu import TPUBaseline
+from repro.backends import (
+    Backend,
+    BackendCapabilities,
+    BatchEstimate,
+    as_backend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.parallel.partitioner import build_partition_plan
 from repro.runtime import DFXRuntime
 
@@ -82,6 +94,13 @@ __all__ = [
     "DFXFunctionalSimulator",
     "GPUAppliance",
     "TPUBaseline",
+    "Backend",
+    "BackendCapabilities",
+    "BatchEstimate",
+    "as_backend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
     "build_partition_plan",
     "DFXRuntime",
     "__version__",

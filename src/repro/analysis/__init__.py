@@ -33,10 +33,12 @@ from repro.analysis.workload_presets import (
 )
 from repro.analysis import experiments
 from repro.analysis.experiments import (
+    BatchCapacitySweepResult,
     BatchingComparisonResult,
     SchedulerComparisonResult,
     ServingCapacityResult,
     fleet_capacity_plan,
+    run_batch_capacity_sweep,
     run_batching_comparison,
     run_scheduler_comparison,
     run_serving_capacity,
@@ -70,10 +72,12 @@ __all__ = [
     "PRIMARY_SETUP",
     "SCALABILITY_SETUP",
     "experiments",
+    "BatchCapacitySweepResult",
     "BatchingComparisonResult",
     "SchedulerComparisonResult",
     "ServingCapacityResult",
     "fleet_capacity_plan",
+    "run_batch_capacity_sweep",
     "run_batching_comparison",
     "run_scheduler_comparison",
     "run_serving_capacity",

@@ -28,7 +28,9 @@ from repro.analysis.workload_presets import (
     PRIMARY_SETUP,
     SCALABILITY_SETUP,
 )
+from repro.backends import Backend, make_backend, resolve_backend
 from repro.baselines.gpu import GPUAppliance
+from repro.errors import ConfigurationError
 from repro.baselines.tpu import TPUBaseline
 from repro.core.appliance import DFXAppliance
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
@@ -336,6 +338,27 @@ def run_table2(
 
 
 # ------------------------------------------------- Serving (datacenter study)
+def _serving_backend(
+    spec: str | Backend | PlatformModel,
+    config: GPT2Config,
+    num_devices: int | None,
+) -> Backend:
+    """Resolve a serving driver's backend argument.
+
+    Registry names are built with the driver's model configuration and
+    device count (``num_devices=None`` keeps the factory's own device
+    default, so single-device backends like ``"tpu"`` resolve cleanly);
+    backend instances and legacy platform models pass through (they
+    already embed their configuration).
+    """
+    if isinstance(spec, str):
+        kwargs = {"config": config}
+        if num_devices is not None:
+            kwargs["devices"] = num_devices
+        return make_backend(spec, **kwargs)
+    return resolve_backend(spec)
+
+
 @dataclass(frozen=True)
 class SchedulerComparisonResult:
     """One trace served under several scheduling policies on one appliance."""
@@ -373,7 +396,7 @@ class SchedulerComparisonResult:
 
 
 def run_scheduler_comparison(
-    platform: PlatformModel | None = None,
+    platform: PlatformModel | Backend | str | None = None,
     *,
     policies: tuple[str, ...] = ("fifo", "sjf", "priority", "deadline"),
     arrival_rate_per_s: float = 0.8,
@@ -383,15 +406,24 @@ def run_scheduler_comparison(
     seed: int = 11,
     trace=None,
     platform_name: str | None = None,
+    config: GPT2Config = GPT2_1_5B,
+    num_devices: int | None = None,
 ) -> SchedulerComparisonResult:
     """Serve one trace under each policy on one appliance (default: DFX 4U host).
 
-    Pass ``trace`` directly to study classed traffic (priorities / SLOs /
+    ``platform`` may be a registered backend name (``"dfx"``, ``"gpu"``,
+    ``"tpu"``), a :class:`~repro.backends.base.Backend`, or a legacy
+    platform model; names are built with ``config`` and ``num_devices``
+    (``None`` keeps the backend factory's own device default).  Pass
+    ``trace`` directly to study classed traffic (priorities / SLOs /
     patience); otherwise a Poisson trace over ``mix`` is generated.
     """
     if platform is None:
-        platform = DFXAppliance(GPT2_1_5B, num_devices=4)
+        platform = _serving_backend("dfx", config, num_devices)
         platform_name = platform_name or "dfx"
+    elif isinstance(platform, str):
+        # Resolve once so every policy serves the identical backend.
+        platform = _serving_backend(platform, config, num_devices)
     if trace is None:
         trace = poisson_trace(arrival_rate_per_s, duration_s, mix, seed=seed)
     reports = {
@@ -437,10 +469,12 @@ def run_serving_capacity(
     Compares the GPU appliance, one DFX cluster, the full 4U host (two DFX
     clusters), and the heterogeneous fleet (both DFX clusters plus the GPU
     appliance behind one queue) — the capacity numbers the datacenter
-    operator actually provisions by.
+    operator actually provisions by.  Both appliances come from the
+    backend registry, so the whole study runs through the unified
+    :class:`~repro.backends.base.Backend` protocol.
     """
-    dfx = DFXAppliance(config, num_devices=num_devices)
-    gpu = GPUAppliance(config, num_devices=num_devices)
+    dfx = make_backend("dfx", config=config, devices=num_devices)
+    gpu = make_backend("gpu", config=config, devices=num_devices)
 
     def trace_builder(rate: float):
         return poisson_trace(rate, trace_duration_s, mix, seed=seed)
@@ -562,6 +596,8 @@ def run_batching_comparison(
     batch_timeout_s: float = 2.0,
     percentile: float = 99.0,
     seed: int = 13,
+    dfx_backend: str | Backend | PlatformModel = "dfx",
+    gpu_backend: str | Backend | PlatformModel = "gpu",
 ) -> BatchingComparisonResult:
     """Serve low-load Poisson and high-load bursty traces across batch regimes.
 
@@ -572,9 +608,14 @@ def run_batching_comparison(
     latency at low load (no batch to gather, faster per request), while
     the GPU fleet only reaches competitive throughput on the bursty trace
     once dynamic batching amortizes its kernel overhead.
+
+    ``dfx_backend`` / ``gpu_backend`` name (or directly provide) the two
+    backends, so the same study runs against e.g. the functional-sim
+    runtime or a custom-registered platform; batch pricing flows through
+    the backend-generic :class:`~repro.serving.BackendBatchCostModel`.
     """
-    dfx = DFXAppliance(config, num_devices=num_devices)
-    gpu = GPUAppliance(config, num_devices=num_devices)
+    dfx = _serving_backend(dfx_backend, config, num_devices)
+    gpu = _serving_backend(gpu_backend, config, num_devices)
     low_trace = poisson_trace(low_rate_per_s, duration_s, mix, seed=seed)
     high_trace = bursty_trace(
         burst_rate_per_s,
@@ -603,6 +644,123 @@ def run_batching_comparison(
         low_load={label: server.serve(low_trace) for label, server in servers.items()},
         high_load={label: server.serve(high_trace) for label, server in servers.items()},
         percentile=percentile,
+    )
+
+
+# -------------------------------------------- Serving (batch capacity study)
+@dataclass(frozen=True)
+class BatchCapacitySweepResult:
+    """Batch-aware capacity planning: max SLO-compliant rate per batch size.
+
+    ``plans`` maps each swept ``max_batch_size`` to its
+    :class:`~repro.serving.CapacityPlan` (batch size 1 is the unbatched
+    baseline).  The sweep answers the operator's sizing question behind
+    Sec. III-A: how much extra offered load does each step of batching buy
+    while the tail still meets the SLO?
+    """
+
+    backend: str
+    slo_s: float
+    percentile: float
+    batch_timeout_s: float
+    plans: dict[int, CapacityPlan]
+
+    def capacities_per_hour(self) -> dict[int, float]:
+        """Max offered load (requests/hour) meeting the SLO, per batch size."""
+        return {
+            size: plan.max_requests_per_hour for size, plan in self.plans.items()
+        }
+
+    def best_batch_size(self) -> int:
+        """The swept batch size sustaining the highest SLO-compliant rate.
+
+        Ties break toward the smaller batch (less gather latency for the
+        same capacity).
+        """
+        return min(
+            self.plans,
+            key=lambda size: (-self.plans[size].max_rate_per_s, size),
+        )
+
+    @property
+    def batching_capacity_gain(self) -> float:
+        """Capacity of the best batch size relative to the unbatched baseline.
+
+        Uses the same winner as :meth:`best_batch_size`, so the two always
+        tell one story: exactly 1.0 when unbatched serving wins the sweep.
+        Requires batch size 1 in the sweep; infinite when the unbatched
+        configuration cannot meet the SLO at any probed rate but a batched
+        one can.
+        """
+        if 1 not in self.plans:
+            raise ConfigurationError(
+                "batching_capacity_gain needs batch size 1 in the sweep"
+            )
+        best = self.plans[self.best_batch_size()].max_rate_per_s
+        baseline = self.plans[1].max_rate_per_s
+        if baseline <= 0:
+            return float("inf") if best > 0 else 0.0
+        return best / baseline
+
+
+def run_batch_capacity_sweep(
+    backend: str | Backend | PlatformModel = "gpu",
+    *,
+    config: GPT2Config = GPT2_1_5B,
+    num_devices: int = 4,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8),
+    slo_s: float = 30.0,
+    percentile: float = 95.0,
+    batch_timeout_s: float = 1.0,
+    num_clusters: int = 1,
+    scheduler: str = "fifo",
+    mix: WorkloadMix = CHATBOT_MIX,
+    trace_duration_s: float = 120.0,
+    seed: int = 7,
+    rate_bounds: tuple[float, float] = (0.05, 32.0),
+) -> BatchCapacitySweepResult:
+    """Sweep ``max_batch_size`` against a tail SLO via capacity search.
+
+    For each batch size the driver runs
+    :func:`~repro.serving.find_max_rate_under_slo` under size-or-timeout
+    dynamic batching (size 1 is the unbatched baseline) on the same
+    deterministic Poisson trace family, producing the batch-aware capacity
+    plan the ROADMAP's serving studies call for.  ``backend`` is a
+    registry name, a backend instance, or a legacy platform model; it must
+    support batching for sizes above 1.
+    """
+    if not batch_sizes:
+        raise ConfigurationError("batch_sizes must be non-empty")
+    if any(size < 1 for size in batch_sizes):
+        raise ConfigurationError("batch sizes must be >= 1")
+    resolved = _serving_backend(backend, config, num_devices)
+
+    def trace_builder(rate: float):
+        return poisson_trace(rate, trace_duration_s, mix, seed=seed)
+
+    plans: dict[int, CapacityPlan] = {}
+    for size in batch_sizes:
+        batch_policy = (
+            "none" if size == 1 else DynamicBatching(size, batch_timeout_s)
+        )
+        plans[size] = find_max_rate_under_slo(
+            resolved,
+            trace_builder,
+            slo_s,
+            percentile=percentile,
+            num_clusters=num_clusters,
+            platform_name=f"{resolved.name}-batch{size}",
+            scheduler=scheduler,
+            batch_policy=batch_policy,
+            max_batch_size=size,
+            rate_bounds=rate_bounds,
+        )
+    return BatchCapacitySweepResult(
+        backend=resolved.name,
+        slo_s=slo_s,
+        percentile=percentile,
+        batch_timeout_s=batch_timeout_s,
+        plans=plans,
     )
 
 

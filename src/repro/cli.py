@@ -1,6 +1,6 @@
 """Command-line interface for the DFX reproduction.
 
-Two subcommands cover the common entry points without writing any Python:
+Three subcommands cover the common entry points without writing any Python:
 
 ``run``
     Simulate one text-generation request on the DFX appliance (and optionally
@@ -11,26 +11,54 @@ Two subcommands cover the common entry points without writing any Python:
     Run one of the paper's experiment drivers by name (``figure14``,
     ``figure15``, ``table2``, ...) and print its summary.
 
+``serve``
+    Replay a request trace — synthetic Poisson over a workload mix, or a
+    recorded CSV/JSONL log via ``--trace`` — against any registered backend
+    (``dfx``, ``gpu``, ``tpu``, ``dfx-sim``) and print the serving report:
+    tail latencies, throughput, utilization, abandonment, batch statistics.
+
 Examples::
 
     python -m repro.cli run --model 1.5b --devices 4 --input 64 --output 64
     python -m repro.cli run --model 345m --devices 1 --input 32 --output 256 --compare-gpu
     python -m repro.cli experiment figure18
+    python -m repro.cli serve --backend dfx --clusters 2 --rate 1.5 --duration 120
+    python -m repro.cli serve --backend gpu --batch-policy dynamic --trace requests.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable
 
 from repro.analysis import experiments
 from repro.analysis.export import result_to_dict, write_json
 from repro.analysis.reports import format_fractions, format_table
+from repro.backends import available_backends, make_backend
 from repro.baselines.gpu import GPUAppliance
 from repro.core.appliance import DFXAppliance
 from repro.model.config import available_presets, from_preset
+from repro.serving import (
+    ARTICLE_MIX,
+    CHATBOT_MIX,
+    DATACENTER_MIX,
+    ApplianceServer,
+    ServingReport,
+    poisson_trace,
+    replay_trace,
+)
+from repro.serving.batching import BATCH_POLICIES
+from repro.serving.schedulers import SCHEDULERS
 from repro.workloads import Workload
+
+#: Workload mixes selectable from the serve subcommand.
+SERVE_MIXES = {
+    CHATBOT_MIX.name: CHATBOT_MIX,
+    ARTICLE_MIX.name: ARTICLE_MIX,
+    DATACENTER_MIX.name: DATACENTER_MIX,
+}
 
 #: Experiment names accepted by the ``experiment`` subcommand.
 EXPERIMENT_RUNNERS: dict[str, Callable[[], object]] = {
@@ -75,6 +103,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS),
                                    help="experiment to run")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="replay a request trace against a registered backend"
+    )
+    serve_parser.add_argument("--backend", default="dfx",
+                              choices=available_backends(),
+                              help="registered backend name (default: dfx)")
+    serve_parser.add_argument("--model", default="1.5b",
+                              choices=available_presets(),
+                              help="GPT-2 preset (default: 1.5b; use a test-* "
+                                   "preset with the dfx-sim backend)")
+    serve_parser.add_argument("--devices", type=int, default=None,
+                              help="accelerators per backend instance "
+                                   "(default: the backend's own default)")
+    serve_parser.add_argument("--clusters", type=int, default=1,
+                              help="independent serving clusters (default: 1)")
+    serve_parser.add_argument("--scheduler", default="fifo",
+                              choices=sorted(SCHEDULERS),
+                              help="dispatch policy (default: fifo)")
+    serve_parser.add_argument("--batch-policy", default="none",
+                              choices=sorted(BATCH_POLICIES),
+                              help="batch-formation policy (default: none)")
+    serve_parser.add_argument("--max-batch-size", type=int, default=None,
+                              help="per-cluster batch capacity (default: the "
+                                   "policy's own size)")
+    serve_parser.add_argument("--trace", metavar="PATH", default=None,
+                              help="replay a recorded CSV/JSONL request log "
+                                   "instead of generating a Poisson trace")
+    serve_parser.add_argument("--rate", type=float, default=1.0,
+                              help="Poisson arrival rate in req/s (default: 1.0)")
+    serve_parser.add_argument("--duration", type=float, default=60.0,
+                              help="synthetic trace length in seconds "
+                                   "(default: 60)")
+    serve_parser.add_argument("--mix", default=CHATBOT_MIX.name,
+                              choices=sorted(SERVE_MIXES),
+                              help="workload mix for synthetic traces")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="trace RNG seed (default: 0)")
+    serve_parser.add_argument("--slo-s", type=float, default=None,
+                              help="tag every request with this response-time "
+                                   "SLO in seconds")
+    serve_parser.add_argument("--patience-s", type=float, default=None,
+                              help="tag every request with this queueing "
+                                   "patience in seconds")
     return parser
 
 
@@ -102,6 +174,70 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.json:
         path = write_json(result_to_dict(dfx_result), args.json)
         print(f"\nwrote {path}")
+    return 0
+
+
+def _print_serving_report(report: ServingReport) -> None:
+    """Print one serving report as the operator-facing summary table."""
+    print(f"backend {report.platform}: {report.num_clusters} cluster(s), "
+          f"scheduler={report.scheduler}, batch_policy={report.batch_policy}")
+    rows = [
+        ["served", report.num_requests],
+        ["abandoned", report.num_abandoned],
+        ["makespan (s)", report.makespan_s],
+        ["p50 response (s)", report.response_time_percentile_s(50)],
+        ["p95 response (s)", report.response_time_percentile_s(95)],
+        ["p99 response (s)", report.response_time_percentile_s(99)],
+        ["mean queueing (s)", report.mean_queueing_delay_s],
+        ["requests/hour", report.requests_per_hour],
+        ["output tokens/s", report.output_tokens_per_second],
+        ["utilization", report.utilization],
+        ["energy/request (J)", report.energy_per_request_joules],
+    ]
+    if report.batch_policy != "none":
+        rows.append(["mean batch size", report.mean_batch_size])
+        rows.append(["mean gather delay (s)", report.mean_batch_gather_delay_s])
+    if any(c.request.slo_s is not None for c in report.completed) or any(
+        a.request.slo_s is not None for a in report.abandoned
+    ):
+        rows.append(["SLO attainment", report.slo_attainment])
+    print(format_table(["metric", "value"], rows))
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    backend_kwargs = {"config": from_preset(args.model)}
+    if args.devices is not None:
+        backend_kwargs["devices"] = args.devices
+    backend = make_backend(args.backend, **backend_kwargs)
+
+    if args.trace is not None:
+        trace = replay_trace(args.trace)
+        source = args.trace
+    else:
+        trace = poisson_trace(
+            args.rate, args.duration, SERVE_MIXES[args.mix], seed=args.seed
+        )
+        source = (f"poisson(rate={args.rate}/s, duration={args.duration}s, "
+                  f"mix={args.mix}, seed={args.seed})")
+    if args.slo_s is not None or args.patience_s is not None:
+        # Override only the fields the user passed — a replayed log's own
+        # priorities, service classes, and the other service levels stay.
+        overrides = {}
+        if args.slo_s is not None:
+            overrides["slo_s"] = args.slo_s
+        if args.patience_s is not None:
+            overrides["patience_s"] = args.patience_s
+        trace = [dataclasses.replace(request, **overrides) for request in trace]
+    print(f"serving {len(trace)} requests from {source}")
+
+    server = ApplianceServer(
+        backend,
+        num_clusters=args.clusters,
+        scheduler=args.scheduler,
+        batch_policy=args.batch_policy,
+        max_batch_size=args.max_batch_size,
+    )
+    _print_serving_report(server.serve(trace))
     return 0
 
 
@@ -142,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,8 +1,17 @@
 """Datacenter serving subsystem.
 
+Every entry point that takes a platform — the oracle, the server, the
+fleet, the sweeps — speaks the unified :class:`~repro.backends.base.Backend`
+protocol: pass a registered backend name (``"dfx"``, ``"gpu"``, ``"tpu"``,
+``"dfx-sim"``), a :class:`~repro.backends.base.Backend` instance, or a
+legacy platform model with ``run(workload)`` (wrapped on the fly), and the
+same simulator serves it.
+
 Layout (see the module docstrings for details):
 
-* ``requests``   — traces, workload mixes, and service-level tagging.
+* ``requests``   — traces (synthetic Poisson / constant / bursty / diurnal
+  generators plus ``replay_trace`` for recorded CSV/JSONL logs), workload
+  mixes, and service-level tagging.
 * ``server``     — latency oracle, reports, ``ApplianceServer`` front end,
   ``saturation_sweep`` and ``find_max_rate_under_slo`` capacity planning.
 * ``simulator``  — the discrete-event core shared by appliance and fleet.
@@ -10,13 +19,15 @@ Layout (see the module docstrings for details):
   deadline); subclass ``SchedulingPolicy`` and register in ``SCHEDULERS``
   to add one.
 * ``batching``   — batch-formation policies (none / dynamic size-or-timeout /
-  continuous decode slots) and batch cost models; subclass
+  continuous decode slots, re-priced on occupancy change by default) and
+  the backend-generic ``BackendBatchCostModel``; subclass
   ``BatchFormationPolicy`` and register in ``BATCH_POLICIES`` to add one.
 * ``fleet``      — heterogeneous multi-appliance serving behind one queue.
 """
 
 from repro.serving.batching import (
     BATCH_POLICIES,
+    BackendBatchCostModel,
     BatchCostModel,
     BatchFormationPolicy,
     ContinuousBatching,
@@ -35,8 +46,10 @@ from repro.serving.requests import (
     WorkloadMix,
     bursty_trace,
     constant_trace,
+    diurnal_trace,
     merge_traces,
     poisson_trace,
+    replay_trace,
     with_service_levels,
 )
 from repro.serving.server import (
@@ -74,10 +87,13 @@ __all__ = [
     "WorkloadMix",
     "bursty_trace",
     "constant_trace",
+    "diurnal_trace",
     "merge_traces",
     "poisson_trace",
+    "replay_trace",
     "with_service_levels",
     "BATCH_POLICIES",
+    "BackendBatchCostModel",
     "BatchCostModel",
     "BatchFormationPolicy",
     "ContinuousBatching",

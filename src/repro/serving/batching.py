@@ -12,13 +12,13 @@ out end to end instead of asserted:
 * a :class:`BatchFormationPolicy` decides *when* queued requests are
   admitted as a batch (immediately, size-or-timeout, or continuously
   into decode slots);
-* a :class:`BatchCostModel` prices a batch on a specific appliance.  GPU
-  units price batches with the existing
-  :meth:`~repro.baselines.gpu.GPUAppliance.batched_per_token_generation_ms`
-  / :meth:`~repro.baselines.gpu.GPUAppliance.batched_request_latency_ms`
-  cost model; DFX units keep a batch=1 passthrough (their
-  ``max_batch_size`` stays 1, so every dispatch takes the exact
-  unbatched code path).
+* a :class:`BatchCostModel` prices a batch on a specific appliance.
+  :class:`BackendBatchCostModel` prices batches through *any* registered
+  :class:`~repro.backends.base.Backend` whose capabilities support
+  batching (the GPU appliance backend derives its prices from
+  :meth:`~repro.baselines.gpu.GPUAppliance.batched_request_latency_ms`);
+  DFX units keep a batch=1 passthrough (their ``max_batch_size`` stays 1,
+  so every dispatch takes the exact unbatched code path).
 
 Adding a batch policy: subclass :class:`BatchFormationPolicy`, implement
 ``ready`` (and ``flush_at`` if partial batches must dispatch on a
@@ -33,6 +33,12 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence
 
+from repro.backends.base import (
+    Backend,
+    BatchEstimate,
+    as_backend,
+    dominant_workload,
+)
 from repro.errors import ConfigurationError
 from repro.workloads import Workload
 
@@ -67,31 +73,106 @@ class BatchCostModel(Protocol):
         ...  # pragma: no cover - protocol
 
 
-def dominant_workload(workloads: Sequence[Workload]) -> Workload:
-    """The shape that bounds a gathered batch: max input x max output.
+class BackendBatchCostModel:
+    """Prices batches through any :class:`~repro.backends.base.Backend`.
 
-    Batched requests ride the same kernels, so the batch runs as long as
-    its longest prompt and longest generation; shorter members simply pad
-    (the standard static-batching cost).
+    This is the one cost model every batch-capable server unit uses —
+    there is no GPU-only special case: whatever
+    :meth:`~repro.backends.base.Backend.batched_estimate` prices, the
+    simulator serves.  Gathered batches are priced at the dominant member
+    shape (the batch finishes together); continuous admissions at the
+    request's own shape with the per-token rate of the current decode
+    concurrency.  Batch gather time is *not* billed here — the simulator
+    models it explicitly as queue wait under the batch policy.
+
+    Construction validates the backend's declared capabilities eagerly, so
+    a misconfigured unit — batch-capable but a non-batching backend, or a
+    unit capacity above the backend's declared ``max_batch_size`` — fails
+    at build time, not mid-simulation.
     """
-    if not workloads:
-        raise ConfigurationError("a batch needs at least one workload")
-    return Workload(
-        input_tokens=max(w.input_tokens for w in workloads),
-        output_tokens=max(w.output_tokens for w in workloads),
-    )
+
+    def __init__(
+        self, backend: Backend, max_batch_size: int | None = None
+    ) -> None:
+        self.backend = as_backend(backend)
+        capabilities = self.backend.capabilities()
+        if not capabilities.supports_batching:
+            raise ConfigurationError(
+                f"{self.backend.name} cannot price batches: its capabilities "
+                f"report supports_batching=False"
+            )
+        if (
+            max_batch_size is not None
+            and max_batch_size > capabilities.max_batch_size
+        ):
+            raise ConfigurationError(
+                f"{self.backend.name} caps batches at "
+                f"{capabilities.max_batch_size}; units with "
+                f"max_batch_size={max_batch_size} would fail to price"
+            )
+        # Memoized per (shape, size): batch pricing is hammered once per
+        # dispatch by the sweeps, and the estimate depends only on the
+        # dominant shape and the batch size.  Power is memoized per shape —
+        # the protocol doesn't promise a constant draw across shapes.
+        self._estimates: dict[tuple[Workload, int], BatchEstimate] = {}
+        self._power_watts: dict[Workload, float] = {}
+
+    def _estimate(self, shape: Workload, size: int) -> BatchEstimate:
+        key = (shape, size)
+        if key not in self._estimates:
+            self._estimates[key] = self.backend.batched_estimate(
+                [shape], batch_size=size
+            )
+        return self._estimates[key]
+
+    def _power(self, workload: Workload) -> float:
+        if workload not in self._power_watts:
+            self._power_watts[workload] = float(
+                self.backend.estimate(workload).total_power_watts
+            )
+        return self._power_watts[workload]
+
+    def batch_latency_s(self, workloads: Sequence[Workload]) -> float:
+        shape = dominant_workload(workloads)
+        return self._estimate(shape, len(workloads)).latency_s
+
+    def batch_energy_joules(
+        self, workloads: Sequence[Workload], latency_s: float
+    ) -> float:
+        # The backend's own batched energy estimate, billed over the
+        # caller's wall clock: scaling by latency_s / estimate.latency_s
+        # keeps a custom backend's draw model (which need not be simple
+        # power x wall clock) while honoring the protocol's latency
+        # argument.  The simulator pairs this call with batch_latency_s,
+        # making the ratio exactly 1.0 — the estimate's energy verbatim.
+        shape = dominant_workload(workloads)
+        estimate = self._estimate(shape, len(workloads))
+        if estimate.latency_s <= 0:
+            return estimate.energy_joules
+        return estimate.energy_joules * (latency_s / estimate.latency_s)
+
+    def continuous_latency_s(self, workload: Workload, concurrency: int) -> float:
+        return self._estimate(workload, concurrency).latency_s
+
+    def continuous_energy_joules(
+        self, workload: Workload, concurrency: int, latency_s: float
+    ) -> float:
+        # Power is shared by the requests decoding concurrently: each stream
+        # is billed 1/concurrency of the draw over ``latency_s`` — the full
+        # stream latency under admission-time pricing, or one occupancy
+        # segment under re-pricing (`ContinuousBatching(reprice=True)`).
+        return self._power(workload) * latency_s / concurrency
 
 
-class GPUBatchCostModel:
-    """Adapter pricing batches via the GPU baseline's batching cost model.
+class GPUBatchCostModel(BackendBatchCostModel):
+    """Deprecated shim: :class:`BackendBatchCostModel` over a raw platform.
 
-    Works with any platform exposing the :class:`~repro.baselines.gpu.\
-GPUAppliance` batching interface (``batched_request_latency_ms`` and
-    ``run``).  Gathered batches are priced at the dominant member shape
-    (the batch finishes together); continuous admissions are priced at
-    the request's own shape with the per-token rate of the current
-    decode concurrency.  Batch gather time is *not* billed here — the
-    simulator models it explicitly as queue wait under the batch policy.
+    Predates the backend protocol — it took any platform exposing the
+    :class:`~repro.baselines.gpu.GPUAppliance` batching interface
+    (``batched_request_latency_ms`` and ``run``) directly.  Kept so old
+    constructor call sites work unchanged; new code should build a
+    backend (``make_backend("gpu", ...)``) and use
+    :class:`BackendBatchCostModel`.
     """
 
     def __init__(self, platform) -> None:
@@ -101,42 +182,7 @@ GPUAppliance` batching interface (``batched_request_latency_ms`` and
                     f"{type(platform).__name__} cannot price batches: it lacks "
                     f"the {required!r} method of the GPU batching cost model"
                 )
-        self._platform = platform
-        # Memoized per workload shape: the GPU baseline's draw is constant,
-        # but the validated interface doesn't promise that for every
-        # platform, so power must not leak across shapes.
-        self._power_watts: dict[Workload, float] = {}
-
-    def _power(self, workload: Workload) -> float:
-        if workload not in self._power_watts:
-            self._power_watts[workload] = float(
-                self._platform.run(workload).total_power_watts
-            )
-        return self._power_watts[workload]
-
-    def batch_latency_s(self, workloads: Sequence[Workload]) -> float:
-        shape = dominant_workload(workloads)
-        return (
-            self._platform.batched_request_latency_ms(shape, len(workloads)) / 1e3
-        )
-
-    def batch_energy_joules(
-        self, workloads: Sequence[Workload], latency_s: float
-    ) -> float:
-        # The appliance draws its full power for the batch's wall-clock,
-        # priced at the dominant shape the batch actually runs as.
-        return self._power(dominant_workload(workloads)) * latency_s
-
-    def continuous_latency_s(self, workload: Workload, concurrency: int) -> float:
-        return self._platform.batched_request_latency_ms(workload, concurrency) / 1e3
-
-    def continuous_energy_joules(
-        self, workload: Workload, concurrency: int, latency_s: float
-    ) -> float:
-        # Power is shared by the requests decoding concurrently; billing each
-        # admission 1/concurrency of the draw keeps whole-appliance energy
-        # approximately right without re-pricing as neighbours leave.
-        return self._power(workload) * latency_s / concurrency
+        super().__init__(as_backend(platform))
 
 
 class BatchFormationPolicy:
@@ -229,19 +275,28 @@ class ContinuousBatching(BatchFormationPolicy):
     decode-step boundaries.  The event-driven approximation: a unit with
     ``max_batch_size`` decode slots admits each request *immediately*
     (no gather wait) and prices it at the batched per-token rate of the
-    concurrency at admission.  Occupancy is not re-priced as neighbours
-    finish — a stated approximation that brackets the truth from above
-    (a lone survivor really speeds up) while keeping one completion
-    event per request.
+    concurrency at admission.
+
+    By default (``reprice=True``) in-flight decode streams are *re-priced*
+    whenever the unit's occupancy changes: each stream's completed work
+    fraction is carried over and its remaining work re-runs at the new
+    concurrency's per-token rate, so a lone survivor really speeds up and
+    a newly crowded stream really slows down.  Energy is billed per
+    occupancy segment (1/concurrency of the appliance draw while that
+    concurrency held), so whole-appliance energy integrates correctly.
+    ``reprice=False`` restores the earlier admission-time-only
+    approximation, which brackets the truth from above while keeping one
+    immutable completion event per request.
     """
 
     name = "continuous"
     continuous = True
 
-    def __init__(self, max_batch_size: int = 8) -> None:
+    def __init__(self, max_batch_size: int = 8, reprice: bool = True) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
         self.max_batch_size = max_batch_size
+        self.reprice = reprice
 
 
 #: Registry of built-in batch-formation policies by name.

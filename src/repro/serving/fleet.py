@@ -22,10 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backends import Backend, resolve_backend
 from repro.errors import ConfigurationError
 from repro.serving.batching import (
+    BackendBatchCostModel,
     BatchFormationPolicy,
-    GPUBatchCostModel,
     make_batch_policy,
 )
 from repro.serving.requests import ServiceRequest
@@ -36,15 +37,17 @@ from repro.serving.simulator import ServerUnit, simulate
 
 @dataclass(frozen=True)
 class FleetMember:
-    """One appliance in the fleet: a platform model and its cluster count.
+    """One appliance in the fleet: a platform and its cluster count.
 
+    ``platform`` may be a :class:`~repro.backends.base.Backend`, a
+    registered backend name (``FleetMember("dfx", "dfx", 2)`` builds the
+    default DFX cluster adapter), or a legacy platform model.
     ``max_batch_size`` > 1 marks the member's clusters batch-capable; the
-    platform must then expose the GPU batching cost model
-    (``batched_request_latency_ms``).
+    resolved backend's capabilities must then support batching.
     """
 
     name: str
-    platform: PlatformModel
+    platform: PlatformModel | Backend | str
     num_clusters: int = 1
     max_batch_size: int = 1
 
@@ -76,16 +79,24 @@ class ApplianceFleet:
         self.scheduler = scheduler
         self.batch_policy = batch_policy
         self.name = name or "+".join(names)
+        # Each member's platform spec (backend, name, or legacy model) is
+        # resolved once at fleet build time.
+        self._backends = {
+            member.name: resolve_backend(member.platform) for member in self.members
+        }
         # One oracle per member so repeated shapes stay cheap across traces.
         self._oracles = {
-            member.name: LatencyOracle(member.platform) for member in self.members
+            member.name: LatencyOracle(self._backends[member.name])
+            for member in self.members
         }
         # Batch cost models are validated eagerly so a misconfigured member
-        # (batch-capable but no batching interface) fails at fleet build
+        # (batch-capable but a non-batching backend) fails at fleet build
         # time, not mid-simulation.
         self._batch_costs = {
             member.name: (
-                GPUBatchCostModel(member.platform)
+                BackendBatchCostModel(
+                    self._backends[member.name], member.max_batch_size
+                )
                 if member.max_batch_size > 1
                 else None
             )
@@ -96,6 +107,15 @@ class ApplianceFleet:
     def num_clusters(self) -> int:
         """Total server units across the fleet."""
         return sum(member.num_clusters for member in self.members)
+
+    def backend_for(self, member_name: str) -> Backend:
+        """The resolved backend serving one member's clusters."""
+        if member_name not in self._backends:
+            raise ConfigurationError(
+                f"no fleet member named {member_name!r}; "
+                f"members: {[m.name for m in self.members]}"
+            )
+        return self._backends[member_name]
 
     def _units(self) -> list[ServerUnit]:
         units: list[ServerUnit] = []

@@ -3,9 +3,10 @@
 The paper motivates DFX with datacenter text-generation services (chatbots,
 article writing) and builds the appliance so one host can carry two
 independent FPGA clusters.  This module generates synthetic request traces —
-Poisson, evenly spaced, or on-off bursty arrivals over a mix of workload
-shapes — that the serving simulator (`repro.serving.simulator`) replays
-against an appliance model.
+Poisson, evenly spaced, on-off bursty, or diurnal (time-varying-rate)
+arrivals over a mix of workload shapes — that the serving simulator
+(`repro.serving.simulator`) replays against an appliance model, and replays
+recorded request logs (CSV / JSONL) through :func:`replay_trace`.
 
 Requests carry optional service-level attributes consumed by the scheduling
 policies in `repro.serving.schedulers`:
@@ -24,8 +25,12 @@ and :func:`merge_traces` to interleave several classed traces into one.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
+import json
+import math
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -282,6 +287,204 @@ def bursty_trace(
         phase_start = phase_end
         in_burst = not in_burst
     return requests
+
+
+def diurnal_trace(
+    peak_rate_per_s: float,
+    duration_s: float,
+    *,
+    trough_rate_per_s: float | None = None,
+    period_s: float = 86_400.0,
+    phase_s: float = 0.0,
+    mix: WorkloadMix = CHATBOT_MIX,
+    seed: int = 0,
+) -> list[ServiceRequest]:
+    """Generate a diurnal (time-varying-rate) Poisson request trace.
+
+    The arrival rate follows a sinusoidal day/night cycle between
+    ``trough_rate_per_s`` and ``peak_rate_per_s`` with period ``period_s``
+    (a day by default): the trace starts at the trough and peaks at
+    mid-period, shifted by ``phase_s`` (``phase_s = period_s / 2`` starts
+    at the peak).  Arrivals are drawn by thinning a Poisson process at the
+    peak rate, the standard exact sampler for inhomogeneous Poisson
+    processes, so the instantaneous rate is honoured everywhere rather
+    than stepped.
+
+    Args:
+        peak_rate_per_s: Arrival rate at the daily peak.
+        duration_s: Length of the trace window in seconds (may span any
+            fraction of, or several, periods).
+        trough_rate_per_s: Arrival rate at the nightly trough (defaults to
+            a tenth of the peak).
+        period_s: Cycle length (default: 24 hours).
+        phase_s: Time offset into the cycle at trace start.
+        mix: Distribution of request shapes.
+        seed: RNG seed (traces are deterministic given the seed).
+
+    Returns:
+        Requests sorted by arrival time, all arriving within ``duration_s``;
+        compatible with :func:`with_service_levels` and :func:`merge_traces`
+        like every other trace builder.
+    """
+    if peak_rate_per_s <= 0:
+        raise ConfigurationError("peak_rate_per_s must be positive")
+    if trough_rate_per_s is None:
+        trough_rate_per_s = peak_rate_per_s / 10.0
+    if trough_rate_per_s < 0:
+        raise ConfigurationError("trough_rate_per_s must be non-negative")
+    if trough_rate_per_s > peak_rate_per_s:
+        raise ConfigurationError(
+            "trough_rate_per_s must not exceed peak_rate_per_s"
+        )
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if period_s <= 0:
+        raise ConfigurationError("period_s must be positive")
+
+    def rate_at(time_s: float) -> float:
+        # Raised cosine: trough at cycle start, peak at mid-period.
+        swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * (time_s + phase_s) / period_s))
+        return trough_rate_per_s + (peak_rate_per_s - trough_rate_per_s) * swing
+
+    rng = np.random.default_rng(seed)
+    requests: list[ServiceRequest] = []
+    time_s = 0.0
+    while True:
+        time_s += float(rng.exponential(1.0 / peak_rate_per_s))
+        if time_s >= duration_s:
+            break
+        if rng.random() < rate_at(time_s) / peak_rate_per_s:
+            requests.append(
+                ServiceRequest(
+                    request_id=len(requests),
+                    arrival_time_s=time_s,
+                    workload=mix.sample(rng),
+                )
+            )
+    return requests
+
+
+#: Request-log fields ``replay_trace`` understands (besides the required
+#: arrival_time_s / input_tokens / output_tokens).
+_REPLAY_OPTIONAL_FIELDS = (
+    "request_id", "priority", "slo_s", "patience_s", "service_class",
+)
+
+
+def _replay_record(record: dict, line_number: int, source: str) -> dict:
+    """Validate and convert one raw log record into ServiceRequest kwargs."""
+    try:
+        kwargs = {
+            "arrival_time_s": float(record["arrival_time_s"]),
+            "workload": Workload(
+                input_tokens=int(record["input_tokens"]),
+                output_tokens=int(record["output_tokens"]),
+            ),
+        }
+    except KeyError as error:
+        raise ConfigurationError(
+            f"{source}, record {line_number}: missing required field {error}"
+        ) from error
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"{source}, record {line_number}: {error}"
+        ) from error
+    converters = {
+        "request_id": int, "priority": int,
+        "slo_s": float, "patience_s": float, "service_class": str,
+    }
+    for name in _REPLAY_OPTIONAL_FIELDS:
+        value = record.get(name)
+        if value is None or value == "":
+            continue
+        try:
+            kwargs[name] = converters[name](value)
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"{source}, record {line_number}: bad {name}: {error}"
+            ) from error
+    return kwargs
+
+
+def replay_trace(path: str | Path, format: str = "auto") -> list[ServiceRequest]:
+    """Replay a recorded request log (CSV or JSONL) as a serving trace.
+
+    Each record needs ``arrival_time_s``, ``input_tokens``, and
+    ``output_tokens``; the service-level fields (``request_id``,
+    ``priority``, ``slo_s``, ``patience_s``, ``service_class``) are
+    optional and empty CSV cells mean "unset".  JSONL logs carry one JSON
+    object per line (blank lines skipped); CSV logs need a header row.
+    ``format`` is ``"csv"``, ``"jsonl"``, or ``"auto"`` (by file suffix:
+    ``.jsonl`` / ``.ndjson`` / ``.json`` are JSONL, anything else CSV).
+
+    Requests are returned sorted by arrival time; records without a
+    ``request_id`` get sequential ids in that order (mixing explicit and
+    implicit ids is rejected as ambiguous).
+    """
+    path = Path(path)
+    if format not in ("auto", "csv", "jsonl"):
+        raise ConfigurationError(
+            f"format must be 'auto', 'csv', or 'jsonl', got {format!r}"
+        )
+    if not path.exists():
+        raise ConfigurationError(f"no request log at {path}")
+    if format == "auto":
+        format = (
+            "jsonl" if path.suffix.lower() in (".jsonl", ".ndjson", ".json")
+            else "csv"
+        )
+
+    records: list[dict] = []
+    source = str(path)
+    if format == "jsonl":
+        with path.open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ConfigurationError(
+                        f"{source}, line {line_number}: invalid JSON: {error}"
+                    ) from error
+                if not isinstance(record, dict):
+                    raise ConfigurationError(
+                        f"{source}, line {line_number}: expected a JSON object"
+                    )
+                records.append(_replay_record(record, line_number, source))
+    else:
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise ConfigurationError(f"{source}: empty CSV request log")
+            for line_number, record in enumerate(reader, start=2):
+                records.append(_replay_record(record, line_number, source))
+
+    with_ids = sum(1 for record in records if "request_id" in record)
+    if 0 < with_ids < len(records):
+        raise ConfigurationError(
+            f"{source}: {with_ids} of {len(records)} records carry a "
+            f"request_id — give all records ids, or none"
+        )
+    if with_ids:
+        seen: dict[int, int] = {}
+        for record in records:
+            request_id = record["request_id"]
+            seen[request_id] = seen.get(request_id, 0) + 1
+        duplicates = sorted(id for id, count in seen.items() if count > 1)
+        if duplicates:
+            raise ConfigurationError(
+                f"{source}: duplicate request_id values {duplicates} — "
+                f"per-request accounting would silently collapse them"
+            )
+    records.sort(key=lambda record: record["arrival_time_s"])
+    return [
+        ServiceRequest(request_id=index, **record)
+        if "request_id" not in record
+        else ServiceRequest(**record)
+        for index, record in enumerate(records)
+    ]
 
 
 def with_service_levels(

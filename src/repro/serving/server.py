@@ -19,10 +19,12 @@ The serving subsystem is split across four modules:
 The DFX server appliance hosts one or two independent FPGA clusters behind a
 dual-socket CPU (paper Fig. 5 / Sec. VI); each cluster serves one request at
 a time because text generation is run unbatched (Sec. III-A) — the batching
-layer exists to model the GPU side of that tradeoff.  Per-request
-service time comes from any platform model that exposes
-``run(workload) -> InferenceResult`` (the DFX appliance simulator or the GPU
-baseline), so the same harness compares serving capacity across platforms.
+layer exists to model the GPU side of that tradeoff.  Per-request service
+time comes from any :class:`~repro.backends.base.Backend` — pass a
+registered name (``"dfx"``, ``"gpu"``, ``"tpu"``, ``"dfx-sim"``), a backend
+instance, or a legacy platform model exposing ``run(workload) ->
+InferenceResult`` (wrapped on the fly) — so the same harness compares
+serving capacity across every platform the registry knows.
 """
 
 from __future__ import annotations
@@ -32,9 +34,10 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.backends import Backend, is_backend, resolve_backend
 from repro.errors import ConfigurationError
 from repro.results import InferenceResult
-from repro.serving.batching import GPUBatchCostModel, make_batch_policy
+from repro.serving.batching import BackendBatchCostModel, make_batch_policy
 from repro.serving.requests import ServiceRequest
 from repro.workloads import Workload
 
@@ -45,23 +48,34 @@ ABANDON_INFEASIBLE = "infeasible-deadline"
 
 
 class PlatformModel(Protocol):
-    """Anything that can estimate one request's end-to-end result."""
+    """Anything that can estimate one request's end-to-end result.
+
+    The pre-backend interface; everything accepting a ``PlatformModel``
+    also accepts a :class:`~repro.backends.base.Backend` instance or a
+    registered backend name (``"dfx"``, ``"gpu"``, ...), resolved through
+    :func:`~repro.backends.registry.resolve_backend`.
+    """
 
     def run(self, workload: Workload) -> InferenceResult:  # pragma: no cover - protocol
         ...
 
 
 class LatencyOracle:
-    """Caches per-workload latency/energy so traces with repeated shapes are cheap."""
+    """Caches per-workload latency/energy so traces with repeated shapes are cheap.
 
-    def __init__(self, platform: PlatformModel) -> None:
-        self._platform = platform
+    Accepts any :class:`~repro.backends.base.Backend`, a registered backend
+    name, or a legacy platform model with ``run(workload)`` (wrapped on the
+    fly); estimates come from :meth:`~repro.backends.base.Backend.estimate`.
+    """
+
+    def __init__(self, platform: PlatformModel | Backend | str) -> None:
+        self.backend = resolve_backend(platform)
         self._cache: dict[Workload, InferenceResult] = {}
 
     def result_for(self, workload: Workload) -> InferenceResult:
-        """Platform result for ``workload`` (memoized)."""
+        """Backend estimate for ``workload`` (memoized)."""
         if workload not in self._cache:
-            self._cache[workload] = self._platform.run(workload)
+            self._cache[workload] = self.backend.estimate(workload)
         return self._cache[workload]
 
     def service_time_s(self, workload: Workload) -> float:
@@ -447,28 +461,41 @@ class ApplianceServer:
     trace under the chosen scheduling policy.  The default FIFO policy
     reproduces the original single-loop ``serve()`` semantics exactly.
 
+    ``platform`` may be a :class:`~repro.backends.base.Backend`, a
+    registered backend name (``ApplianceServer("dfx", 2)``), or a legacy
+    platform model with ``run(workload)``.
+
     ``batch_policy`` decides when batches form; ``max_batch_size`` is the
     per-cluster capacity and defaults to the policy's own batch size, so
     ``ApplianceServer(gpu, batch_policy="dynamic")`` batches without extra
     plumbing (pass an explicit ``max_batch_size`` to cap it — capping to 1
     forces the singleton passthrough even under a batching policy).  A
     capacity above 1 makes every cluster batch-capable, which requires the
-    platform to expose the GPU batching cost model — see
-    :class:`~repro.serving.batching.GPUBatchCostModel`.  The defaults
+    backend's capabilities to support batching — see
+    :class:`~repro.serving.batching.BackendBatchCostModel`.  The defaults
     (``"none"``, capacity 1) are the paper's unbatched regime and reproduce
     the pre-batching simulator bit for bit.
     """
 
-    def __init__(self, platform: PlatformModel, num_clusters: int = 1,
+    def __init__(self, platform: PlatformModel | Backend | str,
+                 num_clusters: int = 1,
                  platform_name: str | None = None,
                  scheduler: str | object = "fifo",
                  batch_policy: str | object = "none",
                  max_batch_size: int | None = None) -> None:
         if num_clusters <= 0:
             raise ConfigurationError("num_clusters must be positive")
-        self.oracle = LatencyOracle(platform)
+        self.backend = resolve_backend(platform)
+        self.oracle = LatencyOracle(self.backend)
         self.num_clusters = num_clusters
-        self.platform_name = platform_name or type(platform).__name__
+        if platform_name is None:
+            # Backends carry their registry name; legacy platform models
+            # keep the historical type-name default.
+            if isinstance(platform, str) or is_backend(platform):
+                platform_name = self.backend.name
+            else:
+                platform_name = type(platform).__name__
+        self.platform_name = platform_name
         self.scheduler = scheduler
         # Resolved once so the derived unit capacity always matches the
         # policy that will run (a "dynamic" policy with default units would
@@ -481,7 +508,9 @@ class ApplianceServer:
             raise ConfigurationError("max_batch_size must be >= 1")
         self.max_batch_size = max_batch_size
         self.batch_costs = (
-            GPUBatchCostModel(platform) if max_batch_size > 1 else None
+            BackendBatchCostModel(self.backend, max_batch_size)
+            if max_batch_size > 1
+            else None
         )
 
     def serve(self, trace: list[ServiceRequest]) -> ServingReport:
@@ -511,7 +540,7 @@ class ApplianceServer:
 
 
 def saturation_sweep(
-    platform: PlatformModel,
+    platform: PlatformModel | Backend | str,
     trace_builder,
     arrival_rates: list[float],
     num_clusters: int = 1,
@@ -637,7 +666,7 @@ def capacity_search(
 
 
 def find_max_rate_under_slo(
-    platform: PlatformModel,
+    platform: PlatformModel | Backend | str,
     trace_builder,
     slo_s: float,
     *,

@@ -30,10 +30,21 @@ Dispatch rules:
   :class:`~repro.serving.batching.BatchCostModel`.  A held partial batch
   registers a flush deadline so the loop wakes to dispatch it even when no
   arrival or completion intervenes.
+
+Continuous batching runs each admission as a decode *stream* on one of the
+unit's slots.  Under the default re-pricing mode
+(``ContinuousBatching(reprice=True)``) every occupancy change — admission
+or departure — re-prices the in-flight streams: each stream's completed
+work fraction is carried over and its remaining work re-runs at the new
+concurrency's rate.  Superseded completion events stay in the heap and are
+skipped by an epoch check (lazy deletion); a stream's provisional
+completion record is replaced in place when it really finishes, so
+``report.completed`` keeps dispatch order.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 
@@ -59,13 +70,36 @@ ABANDON_UNSERVED = "unserved"
 
 
 @dataclass
+class _DecodeStream:
+    """One in-flight continuous-batching admission under re-pricing.
+
+    ``fraction_done`` is the share of the request's work already decoded;
+    it advances at rate ``1 / T(concurrency)`` where ``T`` is the stream's
+    total service time at a given decode concurrency, so an occupancy
+    change carries completed work over and re-runs only the remainder at
+    the new rate.  ``epoch`` invalidates superseded completion events in
+    the heap (lazy deletion).
+    """
+
+    request: ServiceRequest
+    record_index: int
+    concurrency: int
+    fraction_done: float
+    last_change_s: float
+    finish_s: float
+    epoch: int = 0
+    energy_joules: float = 0.0
+
+
+@dataclass
 class ServerUnit:
     """One cluster of one appliance.
 
     A unit serves one *dispatch* per slot at a time: a singleton request or
     a gathered batch on gather-mode units (``slots == 1``), or up to
     ``max_batch_size`` concurrent decode streams under continuous batching
-    (``slots`` is raised by :func:`simulate` when the policy is continuous).
+    (``slots`` is raised by :func:`simulate` when the policy is continuous;
+    ``reprice`` mirrors the policy's re-pricing mode).
     Units with ``max_batch_size > 1`` must carry a ``batch_costs`` model;
     ``max_batch_size == 1`` units never consult it (batch=1 passthrough).
     """
@@ -79,6 +113,8 @@ class ServerUnit:
     # Runtime state, managed by the simulator.
     active: int = 0
     slots: int = 1
+    reprice: bool = False
+    streams: dict[int, _DecodeStream] = field(default_factory=dict)
 
     @property
     def busy(self) -> bool:
@@ -105,10 +141,14 @@ class _SimulationState:
     # skip the per-event queue sweep (it can only ever be a no-op then).
     has_patience: bool = False
     queue: list[ServiceRequest] = field(default_factory=list)
-    completions: list[tuple[float, int]] = field(default_factory=list)
+    # Heap of (finish_s, unit_id, stream_id, epoch); stream_id is -1 for
+    # immutable dispatches, >= 0 for re-priced continuous decode streams
+    # (whose superseded events are skipped by the epoch check).
+    completions: list[tuple[float, int, int, int]] = field(default_factory=list)
     # Earliest time a held partial batch must be forced out (inf = no hold).
     flush_at_s: float = float("inf")
     next_batch_id: int = 0
+    next_stream_id: int = 0
 
     def idle_units(self) -> list[ServerUnit]:
         return [unit for unit in self.units if not unit.busy]
@@ -215,9 +255,13 @@ class _SimulationState:
         self, requests: list[ServiceRequest], unit: ServerUnit, now: float
     ) -> None:
         """Dispatch one batch (singleton or gathered) onto ``unit``."""
+        if unit.slots > 1 and unit.reprice:
+            self.admit_stream(requests[0], unit, now)
+            return
         if unit.slots > 1:
-            # Continuous decode slot: priced at the concurrency reached by
-            # this admission; recorded batch size is that decode occupancy.
+            # Legacy continuous mode (reprice=False): priced once at the
+            # concurrency reached by this admission; recorded batch size is
+            # that decode occupancy.
             concurrency = unit.active + 1
             workload = requests[0].workload
             latency_s = unit.batch_costs.continuous_latency_s(workload, concurrency)
@@ -240,7 +284,7 @@ class _SimulationState:
         finish = now + latency_s
         unit.active += 1
         unit.free_at_s = max(unit.free_at_s, finish)
-        heapq.heappush(self.completions, (finish, unit.unit_id))
+        heapq.heappush(self.completions, (finish, unit.unit_id, -1, 0))
         batch_id = self.next_batch_id
         self.next_batch_id += 1
         for request in requests:
@@ -256,6 +300,113 @@ class _SimulationState:
                 )
             )
         self.report.total_energy_joules += energy_joules
+
+    # ------------------------------------------------- continuous re-pricing
+    def admit_stream(
+        self, request: ServiceRequest, unit: ServerUnit, now: float
+    ) -> None:
+        """Admit one request into a re-priced decode slot.
+
+        The admission is priced at the occupancy it creates (like legacy
+        continuous mode — the recorded ``batch_size`` is that occupancy),
+        then every pre-existing stream on the unit is re-priced at the new
+        concurrency.  The completion record appended here is provisional:
+        its ``finish_time_s`` is revised in place when the stream really
+        completes, preserving dispatch order in ``report.completed``.
+        """
+        concurrency = unit.active + 1
+        workload = request.workload
+        latency_s = unit.batch_costs.continuous_latency_s(workload, concurrency)
+        finish = now + latency_s
+        unit.active += 1
+        unit.free_at_s = max(unit.free_at_s, finish)
+        batch_id = self.next_batch_id
+        self.next_batch_id += 1
+        record_index = len(self.report.completed)
+        self.report.completed.append(
+            CompletedRequest(
+                request=request,
+                start_time_s=now,
+                finish_time_s=finish,
+                cluster_id=unit.unit_id,
+                appliance=unit.appliance,
+                batch_id=batch_id,
+                batch_size=concurrency,
+            )
+        )
+        stream_id = self.next_stream_id
+        self.next_stream_id += 1
+        unit.streams[stream_id] = _DecodeStream(
+            request=request,
+            record_index=record_index,
+            concurrency=concurrency,
+            fraction_done=0.0,
+            last_change_s=now,
+            finish_s=finish,
+        )
+        heapq.heappush(self.completions, (finish, unit.unit_id, stream_id, 0))
+        # The new admission crowds everyone already decoding on the unit.
+        self.reprice_streams(unit, now, exclude=stream_id)
+
+    def reprice_streams(
+        self, unit: ServerUnit, now: float, exclude: int | None = None
+    ) -> None:
+        """Re-price a unit's in-flight streams after an occupancy change.
+
+        Each stream first banks the segment that just ended (work fraction
+        and energy at the concurrency that held), then its remaining work
+        is re-run at the unit's new occupancy.  A superseded completion
+        event stays in the heap; bumping the stream's epoch makes the event
+        loop skip it.  Every caller changes the occupancy by exactly one
+        before calling, so each surviving stream's concurrency really is
+        stale here.
+        """
+        for stream_id, stream in unit.streams.items():
+            if stream_id == exclude:
+                continue
+            workload = stream.request.workload
+            elapsed = now - stream.last_change_s
+            if elapsed > 0:
+                old_total = unit.batch_costs.continuous_latency_s(
+                    workload, stream.concurrency
+                )
+                if old_total > 0:
+                    stream.fraction_done = min(
+                        1.0, stream.fraction_done + elapsed / old_total
+                    )
+                stream.energy_joules += unit.batch_costs.continuous_energy_joules(
+                    workload, stream.concurrency, elapsed
+                )
+            stream.last_change_s = now
+            stream.concurrency = unit.active
+            new_total = unit.batch_costs.continuous_latency_s(
+                workload, stream.concurrency
+            )
+            remaining = max(0.0, 1.0 - stream.fraction_done) * new_total
+            stream.finish_s = now + remaining
+            stream.epoch += 1
+            unit.free_at_s = max(unit.free_at_s, stream.finish_s)
+            heapq.heappush(
+                self.completions,
+                (stream.finish_s, unit.unit_id, stream_id, stream.epoch),
+            )
+
+    def finish_stream(self, unit: ServerUnit, stream_id: int, now: float) -> None:
+        """Complete one decode stream: bank its last segment, seal its record."""
+        stream = unit.streams.pop(stream_id)
+        elapsed = now - stream.last_change_s
+        if elapsed > 0:
+            stream.energy_joules += unit.batch_costs.continuous_energy_joules(
+                stream.request.workload, stream.concurrency, elapsed
+            )
+        unit.active -= 1
+        record = self.report.completed[stream.record_index]
+        self.report.completed[stream.record_index] = dataclasses.replace(
+            record, finish_time_s=now
+        )
+        self.report.total_energy_joules += stream.energy_joules
+        # The departure frees decode bandwidth for the survivors.
+        self.reprice_streams(unit, now)
 
 
 def simulate(
@@ -292,6 +443,10 @@ def simulate(
         unit.slots = (
             policy.capacity(unit.max_batch_size) if policy.continuous else 1
         )
+        unit.reprice = bool(
+            policy.continuous and getattr(policy, "reprice", False)
+        )
+        unit.streams.clear()
     appliance_clusters: dict[str, int] = {}
     for unit in units:
         appliance_clusters[unit.appliance] = appliance_clusters.get(unit.appliance, 0) + 1
@@ -332,8 +487,21 @@ def simulate(
         # yield to both (a coinciding completion or arrival re-runs dispatch
         # anyway, which re-evaluates the hold).
         if next_completion_s <= min(next_arrival_s, state.flush_at_s):
-            now, unit_id = heapq.heappop(state.completions)
-            units_by_id[unit_id].active -= 1
+            completion_s, unit_id, stream_id, epoch = heapq.heappop(
+                state.completions
+            )
+            unit = units_by_id[unit_id]
+            if stream_id >= 0:
+                stream = unit.streams.get(stream_id)
+                if stream is None or stream.epoch != epoch:
+                    # Superseded by a re-price: nothing happened at this
+                    # instant, so the clock and the queue stay untouched.
+                    continue
+                now = completion_s
+                state.finish_stream(unit, stream_id, now)
+            else:
+                now = completion_s
+                unit.active -= 1
         elif next_arrival_s <= state.flush_at_s:
             request = arrivals[next_arrival]
             next_arrival += 1
@@ -359,4 +527,7 @@ def simulate(
     if report.completed:
         last_finish = max(c.finish_time_s for c in report.completed)
         report.makespan_s = max(0.0, last_finish - report.first_arrival_s)
+    # Re-priced continuous streams replace their provisional records in
+    # place, which the (list identity, length) statistic caches cannot see.
+    report.invalidate_caches()
     return report

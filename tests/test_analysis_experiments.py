@@ -149,6 +149,63 @@ class TestBatchingComparison:
             assert len(offered) == 1  # same trace across configurations
 
 
+class TestBatchCapacitySweep:
+    """Batch-aware capacity planning sweeps max_batch_size against a tail SLO."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return experiments.run_batch_capacity_sweep(
+            "gpu",
+            config=GPT2_TEST_TINY,
+            num_devices=1,
+            batch_sizes=(1, 4),
+            slo_s=2.0,
+            batch_timeout_s=0.25,
+            trace_duration_s=40.0,
+            rate_bounds=(0.1, 16.0),
+        )
+
+    def test_one_plan_per_batch_size(self, sweep):
+        assert set(sweep.plans) == {1, 4}
+        assert sweep.backend == "gpu"
+        assert sweep.plans[1].max_rate_per_s > 0
+        assert set(sweep.capacities_per_hour()) == {1, 4}
+
+    def test_batching_extends_slo_capacity(self, sweep):
+        # The GPU's fixed kernel overhead dominates the tiny config, so
+        # batch-4 dynamic batching must sustain a higher SLO-compliant
+        # offered rate than unbatched serving.
+        assert sweep.plans[4].max_rate_per_s > sweep.plans[1].max_rate_per_s
+        assert sweep.batching_capacity_gain > 1.0
+        assert sweep.best_batch_size() == 4
+
+    def test_plans_record_the_batched_configuration(self, sweep):
+        report = sweep.plans[4].report_at_capacity
+        assert report is not None
+        assert report.batch_policy == "dynamic"
+        assert report.mean_batch_size > 1.0
+        unbatched = sweep.plans[1].report_at_capacity
+        assert unbatched.batch_policy == "none"
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            experiments.run_batch_capacity_sweep(batch_sizes=())
+        with pytest.raises(Exception):
+            experiments.run_batch_capacity_sweep(batch_sizes=(0, 2))
+
+    def test_accepts_backend_names_for_drivers(self):
+        # run_scheduler_comparison resolves registry names too.
+        result = experiments.run_scheduler_comparison(
+            "tpu",
+            policies=("fifo",),
+            arrival_rate_per_s=0.5,
+            duration_s=20.0,
+            num_clusters=1,
+        )
+        assert set(result.reports) == {"fifo"}
+        assert result.reports["fifo"].platform == "tpu"
+
+
 class TestTablesAndAccuracy:
     def test_table1_rows(self):
         rows = experiments.run_table1()

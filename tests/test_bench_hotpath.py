@@ -61,6 +61,32 @@ def test_script_writes_valid_report(tmp_path):
     assert all(entry["tokens_per_second"] > 0 for entry in report["entries"])
 
 
+def test_custom_engines_write_to_explicit_output(tmp_path):
+    output = tmp_path / "bench_engines.json"
+    result = _run("--engines", "dfx-sim", "--output", str(output))
+    assert result.returncode == 0, result.stderr
+    report = json.loads(output.read_text())
+    assert {entry["engine"] for entry in report["entries"]} == {"dfx-sim"}
+
+
+def test_custom_engines_refuse_to_overwrite_committed_baseline():
+    # BENCH_hotpath.json is the committed gate baseline: a report missing
+    # the default engines must never silently replace it.
+    result = _run("--engines", "dfx-sim")
+    assert result.returncode == 1
+    assert "refusing to overwrite" in result.stdout
+    # The committed file was not touched (still holds the default engines).
+    committed = json.loads((REPO_ROOT / "BENCH_hotpath.json").read_text())
+    engines = {entry["engine"] for entry in committed["entries"]}
+    assert engines == {"functional-sim", "reference-model"}
+
+
+def test_unknown_engine_rejected(tmp_path):
+    result = _run("--engines", "npu", "--output", str(tmp_path / "x.json"))
+    assert result.returncode != 0
+    assert "unknown engine" in result.stdout + result.stderr
+
+
 def test_check_passes_against_low_floor(tmp_path):
     baseline = tmp_path / "baseline.json"
     _synthetic_baseline(baseline, tokens_per_second=0.001)

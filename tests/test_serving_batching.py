@@ -80,10 +80,16 @@ class TestBatchCostModel:
         expected_ms = platform.batched_request_latency_ms(Workload(1, 10), 2)
         assert costs.batch_latency_s(workloads) == pytest.approx(expected_ms / 1e3)
 
-    def test_batch_energy_is_power_times_wall_clock(self):
+    def test_batch_energy_is_power_times_batch_wall_clock(self):
+        # The appliance draws its full power for the batch's own wall
+        # clock (the estimate the simulator pairs this call with).
         platform = _BatchableTokenPlatform(power_watts=50.0)
         costs = GPUBatchCostModel(platform)
-        assert costs.batch_energy_joules([Workload(1, 10)], 2.0) == pytest.approx(100.0)
+        workloads = [Workload(1, 10), Workload(1, 4)]
+        latency_s = costs.batch_latency_s(workloads)
+        assert costs.batch_energy_joules(workloads, latency_s) == pytest.approx(
+            50.0 * latency_s
+        )
 
     def test_continuous_energy_shared_by_concurrency(self):
         platform = _BatchableTokenPlatform(power_watts=50.0)
@@ -203,9 +209,11 @@ class TestContinuousBatching:
         # Recorded batch sizes are the decode occupancy at admission.
         assert report.batch_size_distribution() == {1: 1, 2: 1, 3: 1, 4: 1}
 
-    def test_occupancy_prices_the_decode_rate(self):
+    def test_admission_time_pricing_without_reprice(self):
+        # Legacy approximation (reprice=False): each admission is priced
+        # once at the concurrency it finds and never revisited.
         report = _batched_server(
-            max_batch_size=2, policy=ContinuousBatching(2)
+            max_batch_size=2, policy=ContinuousBatching(2, reprice=False)
         ).serve(constant_trace(0.0, 2, Workload(1, 1)))
         by_id = {c.request.request_id: c for c in report.completed}
         # First admission decodes alone (batch-1 rate); the second shares
@@ -221,6 +229,90 @@ class TestContinuousBatching:
         waits = sorted(c.queueing_delay_s for c in report.completed)
         assert waits[0] == waits[1] == pytest.approx(0.0)
         assert waits[2] > 0.0
+
+
+class TestContinuousRepricing:
+    """Default continuous mode re-prices in-flight decode streams whenever
+    the unit's occupancy changes (the fix for the admission-time-only
+    approximation the old docstring disclaimed)."""
+
+    # _BatchableTokenPlatform service time for Workload(1, n) at
+    # concurrency L: n * (1.0 + (L - 1) * 0.1) seconds.
+
+    def test_new_admission_slows_inflight_stream(self):
+        report = _batched_server(
+            max_batch_size=2, policy=ContinuousBatching(2)
+        ).serve(constant_trace(0.0, 2, Workload(1, 1)))
+        by_id = {c.request.request_id: c for c in report.completed}
+        # Request 0 is admitted alone, but request 1 lands at the same
+        # instant: both streams decode the whole way at concurrency 2.
+        assert by_id[0].service_time_s == pytest.approx(1.1)
+        assert by_id[1].service_time_s == pytest.approx(1.1)
+        # Recorded batch sizes stay the occupancy at admission.
+        assert report.batch_size_distribution() == {1: 1, 2: 1}
+
+    def test_departure_speeds_up_the_survivor(self):
+        # Request 0 (1 token) decodes alone for 0.5 s, shares the unit
+        # until it finishes, then request 1 (2 tokens) speeds back up:
+        #   req0: 0.5 s alone (half done) + 0.5 * 1.1 shared = 1.05 s
+        #   req1: 0.55 of 2.2 shared (quarter done) + 0.75 * 2.0 alone
+        #         -> finishes at 1.05 + 1.5 = 2.55, service 2.05 s
+        # Admission-time pricing would have charged request 1 the full
+        # 2.2 s as if the neighbour never left.
+        trace = [
+            ServiceRequest(0, 0.0, Workload(1, 1)),
+            ServiceRequest(1, 0.5, Workload(1, 2)),
+        ]
+        report = _batched_server(
+            max_batch_size=2, policy=ContinuousBatching(2)
+        ).serve(trace)
+        by_id = {c.request.request_id: c for c in report.completed}
+        assert by_id[0].service_time_s == pytest.approx(1.05)
+        assert by_id[1].service_time_s == pytest.approx(2.05)
+        assert by_id[1].service_time_s < 2.2  # faster than never re-pricing
+
+    def test_records_keep_dispatch_order_and_admission_start(self):
+        trace = [
+            ServiceRequest(0, 0.0, Workload(1, 4)),
+            ServiceRequest(1, 0.1, Workload(1, 1)),
+        ]
+        report = _batched_server(
+            max_batch_size=2, policy=ContinuousBatching(2)
+        ).serve(trace)
+        # The short request finishes first but the completed list stays in
+        # dispatch order (the provisional record is sealed in place).
+        assert [c.request.request_id for c in report.completed] == [0, 1]
+        assert report.completed[0].finish_time_s > report.completed[1].finish_time_s
+        assert report.completed[0].start_time_s == pytest.approx(0.0)
+        assert report.completed[1].start_time_s == pytest.approx(0.1)
+
+    def test_energy_integrates_to_power_times_busy_time(self):
+        # Per-segment billing (1/concurrency of the draw while that
+        # concurrency held) must integrate to appliance power x busy time
+        # while the unit continuously decodes.
+        platform = _BatchableTokenPlatform(
+            fixed_ms_per_token=1000.0, marginal_ms_per_token=100.0,
+            power_watts=50.0,
+        )
+        report = _batched_server(
+            max_batch_size=2, policy=ContinuousBatching(2), platform=platform
+        ).serve(constant_trace(0.0, 2, Workload(1, 1)))
+        assert report.makespan_s == pytest.approx(1.1)
+        assert report.total_energy_joules == pytest.approx(50.0 * 1.1)
+
+    def test_reprice_matches_legacy_when_occupancy_never_changes(self):
+        # A lone stream is never re-priced, so both modes agree exactly.
+        trace = [ServiceRequest(0, 0.0, Workload(1, 3))]
+        legacy = _batched_server(
+            max_batch_size=4, policy=ContinuousBatching(4, reprice=False)
+        ).serve(trace)
+        repriced = _batched_server(
+            max_batch_size=4, policy=ContinuousBatching(4)
+        ).serve(trace)
+        assert repriced.completed == legacy.completed
+        assert repriced.total_energy_joules == pytest.approx(
+            legacy.total_energy_joules
+        )
 
 
 class TestHoldWithoutTimer:

@@ -154,3 +154,84 @@ class TestCLI:
     def test_unknown_experiment_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestCLIServe:
+    def test_parser_covers_serve(self):
+        args = build_parser().parse_args([
+            "serve", "--backend", "gpu", "--model", "test-small",
+            "--batch-policy", "dynamic", "--rate", "2.5",
+        ])
+        assert args.command == "serve"
+        assert args.backend == "gpu"
+        assert args.batch_policy == "dynamic"
+        assert args.rate == 2.5
+
+    def test_serve_synthetic_trace_on_dfx(self, capsys):
+        exit_code = main([
+            "serve", "--backend", "dfx", "--model", "test-tiny",
+            "--rate", "2", "--duration", "10", "--clusters", "2",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "backend dfx: 2 cluster(s)" in output
+        assert "p95 response (s)" in output
+        assert "output tokens/s" in output
+
+    def test_serve_batched_gpu_reports_batch_stats(self, capsys):
+        exit_code = main([
+            "serve", "--backend", "gpu", "--model", "test-tiny",
+            "--batch-policy", "dynamic", "--rate", "4", "--duration", "10",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "batch_policy=dynamic" in output
+        assert "mean batch size" in output
+
+    def test_serve_replays_a_recorded_log(self, tmp_path, capsys):
+        log = tmp_path / "requests.csv"
+        log.write_text(
+            "arrival_time_s,input_tokens,output_tokens\n"
+            "0.0,8,8\n0.5,8,4\n1.5,4,8\n"
+        )
+        exit_code = main([
+            "serve", "--backend", "tpu", "--model", "test-tiny",
+            "--trace", str(log),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serving 3 requests" in output
+        assert str(log) in output
+
+    def test_serve_with_service_levels_reports_slo(self, capsys):
+        exit_code = main([
+            "serve", "--backend", "dfx", "--model", "test-tiny",
+            "--rate", "2", "--duration", "10", "--slo-s", "5",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "SLO attainment" in output
+
+    def test_serve_slo_override_keeps_replayed_service_levels(self, tmp_path,
+                                                              capsys):
+        # --slo-s must only set the SLO: the log's own priorities, patience,
+        # and service classes survive (a priority scheduler still sees them).
+        log = tmp_path / "requests.csv"
+        log.write_text(
+            "arrival_time_s,input_tokens,output_tokens,priority,service_class\n"
+            "0.0,8,8,5,interactive\n0.2,8,8,0,batch\n"
+        )
+        exit_code = main([
+            "serve", "--backend", "dfx", "--model", "test-tiny",
+            "--trace", str(log), "--slo-s", "8", "--scheduler", "priority",
+        ])
+        assert exit_code == 0
+        assert "SLO attainment" in capsys.readouterr().out
+        from repro.serving import replay_trace
+        replayed = replay_trace(log)
+        assert [r.priority for r in replayed] == [5, 0]
+        assert [r.service_class for r in replayed] == ["interactive", "batch"]
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "npu"])
