@@ -50,9 +50,12 @@ from repro.serving import (
     ApplianceServer,
     CapacityPlan,
     ContinuousBatching,
+    DegradedModePolicy,
     DynamicBatching,
+    FaultSchedule,
     FleetMember,
     PlatformModel,
+    RetryPolicy,
     ServingReport,
     WorkloadMix,
     bursty_trace,
@@ -60,6 +63,7 @@ from repro.serving import (
     find_max_rate_under_slo,
     make_scheduler,
     poisson_trace,
+    with_service_levels,
 )
 from repro.workloads import (
     BALANCED_64_64_WORKLOAD,
@@ -529,6 +533,168 @@ def fleet_capacity_plan(
         rate_bounds=rate_bounds,
         relative_tolerance=relative_tolerance,
         max_abandonment_rate=max_abandonment_rate,
+    )
+
+
+# --------------------------------------------------- Serving (fault campaigns)
+@dataclass(frozen=True)
+class FaultCampaignResult:
+    """Schedulers compared across seeded fault campaigns on one appliance.
+
+    ``reports[policy][seed]`` is the serving report of one policy under one
+    seeded (trace, fault-schedule) pair; every policy sees the identical
+    pairs, so differences are pure failover quality.  The aggregate methods
+    average over seeds.
+    """
+
+    policies: tuple[str, ...]
+    seeds: tuple[int, ...]
+    mtbf_s: float
+    mttr_s: float | None
+    reports: dict[str, dict[int, ServingReport]]
+
+    def _mean_over_seeds(self, metric) -> dict[str, float]:
+        return {
+            policy: sum(metric(report) for report in by_seed.values())
+            / len(by_seed)
+            for policy, by_seed in self.reports.items()
+        }
+
+    def mean_availability(self) -> dict[str, float]:
+        """Mean fleet availability over the campaign's seeds, per policy."""
+        return self._mean_over_seeds(lambda r: r.availability)
+
+    def mean_goodput(self) -> dict[str, float]:
+        """Mean completed fraction of offered load, per policy."""
+        return self._mean_over_seeds(lambda r: r.goodput_fraction)
+
+    def mean_failover_delay_s(self) -> dict[str, float]:
+        """Mean kill-to-restart latency of retried requests, per policy."""
+        return self._mean_over_seeds(lambda r: r.mean_failover_delay_s)
+
+    def mean_slo_violation_rate(self) -> dict[str, float]:
+        """Mean SLO-violation rate under failures, per policy."""
+        return self._mean_over_seeds(lambda r: r.slo_violation_rate)
+
+    def total_retries(self) -> dict[str, int]:
+        """Retries spent across all seeds, per policy."""
+        return {
+            policy: sum(report.num_retries for report in by_seed.values())
+            for policy, by_seed in self.reports.items()
+        }
+
+    def total_failed(self) -> dict[str, int]:
+        """Requests lost to faults across all seeds, per policy."""
+        return {
+            policy: sum(report.num_failed for report in by_seed.values())
+            for policy, by_seed in self.reports.items()
+        }
+
+    def best_policy_by_goodput(self) -> str:
+        """Policy completing the largest offered fraction (ties: fewer SLO
+        violations, then faster failover)."""
+        goodput = self.mean_goodput()
+        violations = self.mean_slo_violation_rate()
+        failover = self.mean_failover_delay_s()
+        return min(
+            self.policies,
+            key=lambda p: (-goodput[p], violations[p], failover[p]),
+        )
+
+    def summary_rows(self) -> list[tuple[str, float, float, float, int, int]]:
+        """(policy, availability, goodput, failover_s, retries, failed) rows."""
+        availability = self.mean_availability()
+        goodput = self.mean_goodput()
+        failover = self.mean_failover_delay_s()
+        retries = self.total_retries()
+        failed = self.total_failed()
+        return [
+            (
+                policy,
+                availability[policy],
+                goodput[policy],
+                failover[policy],
+                retries[policy],
+                failed[policy],
+            )
+            for policy in self.policies
+        ]
+
+
+def run_fault_campaign(
+    platform: PlatformModel | Backend | str | None = None,
+    *,
+    policies: tuple[str, ...] = ("fifo", "sjf", "priority", "deadline"),
+    seeds: tuple[int, ...] = (0, 1, 2),
+    arrival_rate_per_s: float = 0.6,
+    duration_s: float = 180.0,
+    mtbf_s: float = 40.0,
+    mttr_s: float | None = 15.0,
+    num_clusters: int | None = None,
+    mix: WorkloadMix = CHATBOT_MIX,
+    slo_s: float | None = None,
+    retry_policy: RetryPolicy | None = None,
+    degraded_mode: DegradedModePolicy | None = None,
+    platform_name: str | None = None,
+    config: GPT2Config = GPT2_1_5B,
+    num_devices: int | None = None,
+) -> FaultCampaignResult:
+    """Compare schedulers' failover quality across seeded fault campaigns.
+
+    For each seed, one Poisson trace and one Poisson MTBF/MTTR
+    :class:`~repro.serving.faults.FaultSchedule` are drawn (sharing the
+    seed, so the whole campaign is reproducible bit for bit), and every
+    policy serves the identical (trace, schedule) pair.  The default
+    platform is the ``"dfx-4u"`` preset — the paper's 4U host with two DFX
+    clusters, whose unit count flows from the backend's capabilities — so
+    single-unit outages degrade rather than silence the appliance.
+
+    ``slo_s`` tags every request with one response-time objective so the
+    SLO-violation-rate-under-failures column is populated; ``retry_policy``
+    defaults to three attempts with exponential backoff.
+    """
+    if not policies:
+        raise ConfigurationError("a fault campaign needs at least one policy")
+    if not seeds:
+        raise ConfigurationError("a fault campaign needs at least one seed")
+    if platform is None:
+        platform = _serving_backend("dfx-4u", config, num_devices)
+        platform_name = platform_name or "dfx-4u"
+    elif isinstance(platform, str):
+        # Resolve once so every policy and seed serves the identical backend.
+        platform = _serving_backend(platform, config, num_devices)
+    if retry_policy is None:
+        retry_policy = RetryPolicy()
+
+    scenarios = {}
+    for seed in seeds:
+        trace = poisson_trace(arrival_rate_per_s, duration_s, mix, seed=seed)
+        if slo_s is not None:
+            trace = with_service_levels(trace, slo_s=slo_s)
+        faults = FaultSchedule.poisson(mtbf_s, mttr_s, duration_s, seed=seed)
+        scenarios[seed] = (trace, faults)
+
+    reports: dict[str, dict[int, ServingReport]] = {}
+    for policy in policies:
+        by_seed: dict[int, ServingReport] = {}
+        for seed, (trace, faults) in scenarios.items():
+            server = ApplianceServer(
+                platform,
+                num_clusters=num_clusters,
+                platform_name=platform_name,
+                scheduler=policy,
+                faults=faults,
+                retry_policy=retry_policy,
+                degraded_mode=degraded_mode,
+            )
+            by_seed[seed] = server.serve(trace)
+        reports[policy] = by_seed
+    return FaultCampaignResult(
+        policies=tuple(policies),
+        seeds=tuple(seeds),
+        mtbf_s=mtbf_s,
+        mttr_s=mttr_s,
+        reports=reports,
     )
 
 

@@ -53,6 +53,7 @@ class DFXClusterBackend(AnalyticBackend):
         *,
         appliance: DFXAppliance | None = None,
         name: str = "dfx",
+        num_units: int = 1,
         **appliance_kwargs,
     ) -> None:
         if appliance is None:
@@ -64,8 +65,14 @@ class DFXClusterBackend(AnalyticBackend):
                 "pass either a prebuilt appliance or its build arguments, not both"
             )
         # DFX serves text generation unbatched (Sec. III-A): max_batch_size
-        # stays 1 and only the singleton passthrough is priced.
-        super().__init__(appliance, name=name, max_batch_size=1)
+        # stays 1 and only the singleton passthrough is priced.  ``num_units``
+        # is how many independent such clusters one backend instance stands
+        # for — the paper's 4U host carries two (Sec. VI; the "dfx-4u"
+        # registry preset) — consumed by the serving layer's
+        # ``num_clusters=None`` default.
+        super().__init__(
+            appliance, name=name, max_batch_size=1, num_units=num_units
+        )
 
     @property
     def appliance(self) -> DFXAppliance:

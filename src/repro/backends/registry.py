@@ -21,11 +21,23 @@ from repro.backends.adapters import (
 from repro.backends.base import Backend, as_backend, is_backend
 from repro.errors import ConfigurationError
 
+def _dfx_4u_preset(*args, **kwargs) -> DFXClusterBackend:
+    """The paper's 4U server appliance: two independent 4-FPGA DFX clusters
+    behind one host (Sec. VI).  ``num_clusters=None`` serving consumers
+    read the two units from its capabilities, so fault campaigns and fleet
+    plans can spell the host shape by name instead of plumbing counts.
+    """
+    kwargs.setdefault("name", "dfx-4u")
+    kwargs.setdefault("num_units", 2)
+    return DFXClusterBackend(*args, **kwargs)
+
+
 #: Registry of backend factories by name.  Factories accept ``config``
 #: (a GPT2Config or preset name) and ``devices`` plus adapter-specific
 #: keyword arguments.
 BACKENDS: dict[str, Callable[..., Backend]] = {
     "dfx": DFXClusterBackend,
+    "dfx-4u": _dfx_4u_preset,
     "dfx-sim": DFXRuntimeBackend,
     "gpu": GPUApplianceBackend,
     "tpu": TPUBackend,

@@ -14,8 +14,11 @@ Three subcommands cover the common entry points without writing any Python:
 ``serve``
     Replay a request trace — synthetic Poisson over a workload mix, or a
     recorded CSV/JSONL log via ``--trace`` — against any registered backend
-    (``dfx``, ``gpu``, ``tpu``, ``dfx-sim``) and print the serving report:
-    tail latencies, throughput, utilization, abandonment, batch statistics.
+    (``dfx``, ``dfx-4u``, ``gpu``, ``tpu``, ``dfx-sim``) and print the
+    serving report: tail latencies, throughput, utilization, abandonment,
+    batch statistics.  ``--mtbf-s``/``--mttr-s`` inject a seeded Poisson
+    fault process, with ``--retry-max`` attempts per killed request, and the
+    report grows availability, goodput, and failover columns.
 
 Examples::
 
@@ -24,6 +27,7 @@ Examples::
     python -m repro.cli experiment figure18
     python -m repro.cli serve --backend dfx --clusters 2 --rate 1.5 --duration 120
     python -m repro.cli serve --backend gpu --batch-policy dynamic --trace requests.csv
+    python -m repro.cli serve --backend dfx-4u --rate 1.0 --mtbf-s 40 --mttr-s 15
 """
 
 from __future__ import annotations
@@ -45,6 +49,8 @@ from repro.serving import (
     CHATBOT_MIX,
     DATACENTER_MIX,
     ApplianceServer,
+    FaultSchedule,
+    RetryPolicy,
     ServingReport,
     poisson_trace,
     replay_trace,
@@ -117,8 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--devices", type=int, default=None,
                               help="accelerators per backend instance "
                                    "(default: the backend's own default)")
-    serve_parser.add_argument("--clusters", type=int, default=1,
-                              help="independent serving clusters (default: 1)")
+    serve_parser.add_argument("--clusters", type=int, default=None,
+                              help="independent serving clusters (default: "
+                                   "the backend's own unit count, e.g. 2 for "
+                                   "dfx-4u)")
     serve_parser.add_argument("--scheduler", default="fifo",
                               choices=sorted(SCHEDULERS),
                               help="dispatch policy (default: fifo)")
@@ -147,6 +155,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--patience-s", type=float, default=None,
                               help="tag every request with this queueing "
                                    "patience in seconds")
+    serve_parser.add_argument("--mtbf-s", type=float, default=None,
+                              help="inject a Poisson fault process with this "
+                                   "per-cluster mean time between failures "
+                                   "in seconds (default: no faults)")
+    serve_parser.add_argument("--mttr-s", type=float, default=None,
+                              help="mean time to repair in seconds; omit for "
+                                   "fail-stop crashes (requires --mtbf-s)")
+    serve_parser.add_argument("--fault-seed", type=int, default=0,
+                              help="fault-process RNG seed, independent of "
+                                   "the trace seed (default: 0)")
+    serve_parser.add_argument("--retry-max", type=int, default=3,
+                              help="attempts per request killed by a fault, "
+                                   "1 = fail immediately (default: 3)")
     return parser
 
 
@@ -177,7 +198,7 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_serving_report(report: ServingReport) -> None:
+def _print_serving_report(report: ServingReport, *, faults: bool = False) -> None:
     """Print one serving report as the operator-facing summary table."""
     print(f"backend {report.platform}: {report.num_clusters} cluster(s), "
           f"scheduler={report.scheduler}, batch_policy={report.batch_policy}")
@@ -201,6 +222,14 @@ def _print_serving_report(report: ServingReport) -> None:
         a.request.slo_s is not None for a in report.abandoned
     ):
         rows.append(["SLO attainment", report.slo_attainment])
+    if faults or report.num_failed or report.num_retries or report.unit_downtime:
+        rows.append(["availability", report.availability])
+        rows.append(["goodput fraction", report.goodput_fraction])
+        rows.append(["failed", report.num_failed])
+        rows.append(["retries", report.num_retries])
+        rows.append(["mean failover (s)", report.mean_failover_delay_s])
+        for appliance, value in sorted(report.availability_by_appliance().items()):
+            rows.append([f"availability[{appliance}]", value])
     print(format_table(["metric", "value"], rows))
 
 
@@ -230,14 +259,36 @@ def _command_serve(args: argparse.Namespace) -> int:
         trace = [dataclasses.replace(request, **overrides) for request in trace]
     print(f"serving {len(trace)} requests from {source}")
 
+    faults = None
+    retry_policy = None
+    if args.mttr_s is not None and args.mtbf_s is None:
+        print("error: --mttr-s requires --mtbf-s", file=sys.stderr)
+        return 2
+    if args.mtbf_s is not None:
+        # Fault horizon: the synthetic duration, or just past the last
+        # recorded arrival for a replayed log.
+        if args.trace is not None:
+            horizon = (trace[-1].arrival_time_s + 1.0) if trace else 1.0
+        else:
+            horizon = args.duration
+        faults = FaultSchedule.poisson(
+            args.mtbf_s, args.mttr_s, horizon, seed=args.fault_seed
+        )
+        retry_policy = RetryPolicy(max_attempts=args.retry_max)
+        repair = f"mttr={args.mttr_s}s" if args.mttr_s else "fail-stop"
+        print(f"faults: poisson(mtbf={args.mtbf_s}s, {repair}, "
+              f"seed={args.fault_seed}), retry_max={args.retry_max}")
+
     server = ApplianceServer(
         backend,
         num_clusters=args.clusters,
         scheduler=args.scheduler,
         batch_policy=args.batch_policy,
         max_batch_size=args.max_batch_size,
+        faults=faults,
+        retry_policy=retry_policy,
     )
-    _print_serving_report(server.serve(trace))
+    _print_serving_report(server.serve(trace), faults=faults is not None)
     return 0
 
 

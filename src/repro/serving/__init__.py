@@ -23,6 +23,11 @@ Layout (see the module docstrings for details):
   the backend-generic ``BackendBatchCostModel``; subclass
   ``BatchFormationPolicy`` and register in ``BATCH_POLICIES`` to add one.
 * ``fleet``      — heterogeneous multi-appliance serving behind one queue.
+* ``faults``     — fault injection and degraded-mode serving: seeded
+  ``FaultSchedule`` campaigns (scripted outages, Poisson MTBF/MTTR
+  processes, link degradation), ``RetryPolicy`` for killed in-flight
+  requests, and ``DegradedModePolicy`` load shedding while capacity is
+  reduced.
 """
 
 from repro.serving.batching import (
@@ -52,13 +57,26 @@ from repro.serving.requests import (
     replay_trace,
     with_service_levels,
 )
+from repro.serving.faults import (
+    ABANDON_SHED,
+    Degradation,
+    DegradedModePolicy,
+    FaultProcess,
+    FaultSchedule,
+    Outage,
+    RetryPolicy,
+)
 from repro.serving.server import (
     ABANDON_INFEASIBLE,
     ABANDON_TIMEOUT,
+    FAIL_BUDGET,
+    FAIL_RETRIES,
+    FAIL_UNIT,
     AbandonedRequest,
     ApplianceServer,
     CapacityPlan,
     CompletedRequest,
+    FailedRequest,
     LatencyOracle,
     PlatformModel,
     ServingReport,
@@ -103,12 +121,23 @@ __all__ = [
     "dominant_workload",
     "make_batch_policy",
     "ABANDON_INFEASIBLE",
+    "ABANDON_SHED",
     "ABANDON_TIMEOUT",
     "ABANDON_UNSERVED",
     "AbandonedRequest",
     "ApplianceServer",
     "CapacityPlan",
     "CompletedRequest",
+    "Degradation",
+    "DegradedModePolicy",
+    "FAIL_BUDGET",
+    "FAIL_RETRIES",
+    "FAIL_UNIT",
+    "FailedRequest",
+    "FaultProcess",
+    "FaultSchedule",
+    "Outage",
+    "RetryPolicy",
     "LatencyOracle",
     "PlatformModel",
     "ServingReport",

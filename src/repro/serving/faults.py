@@ -1,0 +1,466 @@
+"""Fault injection and degraded-mode serving policies.
+
+The paper pitches DFX as a datacenter building block, and a datacenter
+building block must answer "what happens when a device dies mid-trace?".
+This module is the fault half of that answer (the simulator's event loop is
+the other half): it describes *when and where* the fleet breaks, and *how*
+the serving layer responds while capacity is reduced.
+
+* :class:`FaultSchedule` — a seeded campaign of failures: scripted
+  deterministic :class:`Outage` / :class:`Degradation` windows plus Poisson
+  MTBF/MTTR :class:`FaultProcess` es (the DAVOS-style fault-dictionary /
+  campaign-orchestration shape).  Fault kinds covered:
+
+  - fail-stop unit crashes (an :class:`Outage` with ``duration_s=None``, or
+    a process with ``mttr_s=None``) — the unit never comes back;
+  - transient unit outages with repair (finite outage windows);
+  - whole-member dropout/rejoin (target a fleet member by name: every unit
+    of that appliance goes down and comes back together);
+  - link degradation (:class:`Degradation`) — a slowdown factor scaling a
+    unit's or member's service times over a window, modelling a congested
+    or flapping inter-appliance link rather than a dead device.
+
+* :class:`RetryPolicy` — what happens to requests killed in flight: retry
+  with exponential backoff up to ``max_attempts`` dispatches, under an
+  optional global ``retry_budget``; requests that exhaust either are
+  recorded as :class:`~repro.serving.server.FailedRequest` s.
+
+* :class:`DegradedModePolicy` — load shedding while capacity is reduced:
+  when fewer than ``capacity_threshold`` of the units are live, queued
+  requests in the shed classes (by priority and/or service class) abandon
+  immediately instead of competing with protected traffic.
+
+A schedule is *compiled* against the concrete unit set at simulation time
+(:meth:`FaultSchedule.compile`), which resolves member names to unit ids,
+merges overlapping outage windows, and fixes the event order — so the same
+schedule object can be replayed against any appliance or fleet, and two
+runs with the same seed see bit-identical fault timelines.  An empty
+schedule compiles to no events at all: the simulator is then bit-identical
+to a fault-free run (equivalence-tested in the property suite).
+
+Adding a fault kind: express it as compiled timeline events — extend
+:meth:`FaultSchedule.compile` to emit the standard ``down``/``up`` /
+``slow``/``unslow`` events (a new failure *source* needs no simulator
+change), or add a new event kind plus its handler in
+``simulator.py``'s fault-event branch for genuinely new semantics.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Abandonment reason: shed by the degraded-mode policy while capacity was
+#: reduced (recorded through ``ServingReport.abandoned`` like timeouts).
+ABANDON_SHED = "degraded-shed"
+
+#: Compiled fault-event kinds, in intra-instant processing order: repairs
+#: and degradation ends apply before new failures and degradations, so a
+#: back-to-back repair/failure pair at one instant nets to the failure.
+EVENT_UP = "up"
+EVENT_UNSLOW = "unslow"
+EVENT_SLOW = "slow"
+EVENT_DOWN = "down"
+_EVENT_ORDER = {EVENT_UP: 0, EVENT_UNSLOW: 1, EVENT_SLOW: 2, EVENT_DOWN: 3}
+
+#: Salt mixed into per-target RNG streams so a schedule seed never collides
+#: with a trace seed drawn from the same integer.
+_PROCESS_SALT = 0xFA017
+
+
+def _validate_target(
+    what: str, unit_id: int | None, member: str | None
+) -> None:
+    if (unit_id is None) == (member is None):
+        raise ConfigurationError(
+            f"{what} needs exactly one target: unit_id or member"
+        )
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One scripted outage window: a unit or whole member goes down.
+
+    ``duration_s=None`` is a fail-stop crash — the target never repairs.
+    Targeting a ``member`` (fleet-member / appliance name) takes down every
+    unit of that appliance together: whole-member dropout and rejoin.
+    """
+
+    start_s: float
+    duration_s: float | None = None
+    unit_id: int | None = None
+    member: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("outage start_s must be non-negative")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigurationError(
+                "outage duration_s must be positive (None = fail-stop)"
+            )
+        _validate_target("an outage", self.unit_id, self.member)
+
+    @property
+    def end_s(self) -> float:
+        return (
+            float("inf")
+            if self.duration_s is None
+            else self.start_s + self.duration_s
+        )
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Link degradation: a window scaling the target's service times.
+
+    ``slowdown`` multiplies every service time the target prices while the
+    window is active (2.0 = twice as slow); overlapping degradations on one
+    unit stack multiplicatively.  Models a congested or error-prone link to
+    a member rather than a dead device: the member keeps serving, slower.
+    """
+
+    start_s: float
+    duration_s: float
+    slowdown: float
+    unit_id: int | None = None
+    member: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("degradation start_s must be non-negative")
+        if self.duration_s <= 0:
+            raise ConfigurationError("degradation duration_s must be positive")
+        if self.slowdown <= 0:
+            raise ConfigurationError("slowdown must be positive")
+        _validate_target("a degradation", self.unit_id, self.member)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultProcess:
+    """A seeded Poisson MTBF/MTTR fault process.
+
+    Each target alternates exponentially-distributed up times (mean
+    ``mtbf_s``) and down times (mean ``mttr_s``), drawn from its own RNG
+    stream (seeded by ``(seed, target)``) so fault timelines are
+    independent across targets yet bit-reproducible for a given seed.
+    ``mttr_s=None`` makes the first failure of each target fail-stop.
+    ``members=None`` targets every unit independently; naming members makes
+    each named appliance drop out and rejoin as a whole.
+    """
+
+    mtbf_s: float
+    mttr_s: float | None
+    horizon_s: float
+    seed: int = 0
+    members: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0:
+            raise ConfigurationError("mtbf_s must be positive")
+        if self.mttr_s is not None and self.mttr_s <= 0:
+            raise ConfigurationError(
+                "mttr_s must be positive (None = fail-stop)"
+            )
+        if self.horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+
+    def draw_windows(self, stream_key: int) -> list[tuple[float, float]]:
+        """Down windows for one target, deterministic in (seed, stream_key)."""
+        rng = np.random.default_rng([self.seed, _PROCESS_SALT, stream_key])
+        windows: list[tuple[float, float]] = []
+        time_s = float(rng.exponential(self.mtbf_s))
+        while time_s < self.horizon_s:
+            if self.mttr_s is None:
+                windows.append((time_s, float("inf")))
+                break
+            repair_s = float(rng.exponential(self.mttr_s))
+            windows.append((time_s, time_s + repair_s))
+            time_s = time_s + repair_s + float(rng.exponential(self.mtbf_s))
+        return windows
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One compiled timeline event applied to one concrete unit."""
+
+    time_s: float
+    kind: str  # EVENT_DOWN / EVENT_UP / EVENT_SLOW / EVENT_UNSLOW
+    unit_id: int
+    slowdown: float = 1.0
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time_s, _EVENT_ORDER[self.kind], self.unit_id)
+
+
+@dataclass(frozen=True)
+class CompiledFaults:
+    """A :class:`FaultSchedule` resolved against a concrete unit set."""
+
+    events: tuple[FaultEvent, ...]
+    #: Merged down windows per unit id (an open-ended fail-stop window ends
+    #: at ``inf``); the availability oracle in ``ServingReport`` recomputes
+    #: from exactly these windows.
+    downtime: dict[int, tuple[tuple[float, float], ...]]
+
+
+def merge_windows(
+    windows: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Merge overlapping/touching ``(start, end)`` windows (end may be inf)."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _stable_member_key(member: str) -> int:
+    """Deterministic integer stream key for a member name.
+
+    ``hash(str)`` is salted per process (PYTHONHASHSEED), so a digest is
+    required for fault timelines to reproduce across runs.
+    """
+    return zlib.crc32(member.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A fault campaign: scripted outages/degradations plus seeded processes.
+
+    An empty schedule (``FaultSchedule()``) compiles to zero events and the
+    simulator behaves bit-identically to a fault-free run.  Build scripted
+    campaigns with :meth:`scripted`, random ones with :meth:`poisson`, or
+    mix both by constructing directly.
+    """
+
+    outages: tuple[Outage, ...] = ()
+    degradations: tuple[Degradation, ...] = ()
+    processes: tuple[FaultProcess, ...] = ()
+
+    @classmethod
+    def scripted(cls, *faults: Outage | Degradation) -> "FaultSchedule":
+        """A deterministic schedule from explicit outage/degradation windows."""
+        outages = tuple(f for f in faults if isinstance(f, Outage))
+        degradations = tuple(f for f in faults if isinstance(f, Degradation))
+        if len(outages) + len(degradations) != len(faults):
+            bad = [
+                type(f).__name__
+                for f in faults
+                if not isinstance(f, (Outage, Degradation))
+            ]
+            raise ConfigurationError(
+                f"scripted faults must be Outage or Degradation, got {bad}"
+            )
+        return cls(outages=outages, degradations=degradations)
+
+    @classmethod
+    def poisson(
+        cls,
+        mtbf_s: float,
+        mttr_s: float | None,
+        duration_s: float,
+        *,
+        seed: int = 0,
+        members: tuple[str, ...] | list[str] | None = None,
+    ) -> "FaultSchedule":
+        """A seeded Poisson MTBF/MTTR campaign over ``duration_s`` seconds.
+
+        ``mttr_s=None`` makes every failure fail-stop.  ``members`` names
+        whole appliances that drop out together; ``None`` faults every unit
+        independently.
+        """
+        return cls(
+            processes=(
+                FaultProcess(
+                    mtbf_s=mtbf_s,
+                    mttr_s=mttr_s,
+                    horizon_s=duration_s,
+                    seed=seed,
+                    members=tuple(members) if members is not None else None,
+                ),
+            )
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.outages or self.degradations or self.processes)
+
+    # ------------------------------------------------------------------ compile
+    def _resolve(
+        self,
+        what: str,
+        unit_id: int | None,
+        member: str | None,
+        unit_ids: set[int],
+        members: dict[str, list[int]],
+    ) -> list[int]:
+        if unit_id is not None:
+            if unit_id not in unit_ids:
+                raise ConfigurationError(
+                    f"{what} targets unknown unit {unit_id}; "
+                    f"units: {sorted(unit_ids)}"
+                )
+            return [unit_id]
+        if member not in members:
+            raise ConfigurationError(
+                f"{what} targets unknown member {member!r}; "
+                f"members: {sorted(members)}"
+            )
+        return members[member]
+
+    def compile(self, units) -> CompiledFaults:
+        """Resolve this schedule against concrete server units.
+
+        ``units`` is the simulator's unit list (anything with ``unit_id``
+        and ``appliance`` attributes).  Returns the merged per-unit down
+        windows plus the sorted event timeline the event loop consumes.
+        """
+        unit_ids = {unit.unit_id for unit in units}
+        members: dict[str, list[int]] = {}
+        for unit in units:
+            members.setdefault(unit.appliance, []).append(unit.unit_id)
+
+        down: dict[int, list[tuple[float, float]]] = {}
+        for outage in self.outages:
+            for uid in self._resolve(
+                "an outage", outage.unit_id, outage.member, unit_ids, members
+            ):
+                down.setdefault(uid, []).append((outage.start_s, outage.end_s))
+        for process in self.processes:
+            if process.members is None:
+                for uid in sorted(unit_ids):
+                    down.setdefault(uid, []).extend(process.draw_windows(uid))
+            else:
+                for member in process.members:
+                    windows = process.draw_windows(_stable_member_key(member))
+                    for uid in self._resolve(
+                        "a fault process", None, member, unit_ids, members
+                    ):
+                        down.setdefault(uid, []).extend(windows)
+
+        events: list[FaultEvent] = []
+        downtime: dict[int, tuple[tuple[float, float], ...]] = {}
+        for uid, windows in down.items():
+            merged = merge_windows(windows)
+            if not merged:
+                continue
+            downtime[uid] = tuple(merged)
+            for start, end in merged:
+                events.append(FaultEvent(start, EVENT_DOWN, uid))
+                if end != float("inf"):
+                    events.append(FaultEvent(end, EVENT_UP, uid))
+
+        for degradation in self.degradations:
+            for uid in self._resolve(
+                "a degradation",
+                degradation.unit_id,
+                degradation.member,
+                unit_ids,
+                members,
+            ):
+                events.append(
+                    FaultEvent(
+                        degradation.start_s, EVENT_SLOW, uid,
+                        slowdown=degradation.slowdown,
+                    )
+                )
+                events.append(
+                    FaultEvent(
+                        degradation.end_s, EVENT_UNSLOW, uid,
+                        slowdown=degradation.slowdown,
+                    )
+                )
+
+        events.sort(key=FaultEvent.sort_key)
+        return CompiledFaults(events=tuple(events), downtime=downtime)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens to a request killed by a unit failure.
+
+    A killed request re-enqueues after an exponential backoff —
+    ``backoff_s * backoff_multiplier**(failures - 1)`` seconds after its
+    ``failures``-th kill — until it has been dispatched ``max_attempts``
+    times, after which it is recorded as failed (reason
+    ``retries-exhausted``).  ``retry_budget`` caps the *total* retries the
+    whole run may spend (reason ``retry-budget-exhausted`` once dry);
+    ``None`` is unlimited.  ``max_attempts=1`` disables retries entirely:
+    every killed request fails immediately (reason ``unit-failure``), as do
+    requests tagged ``retryable=False``.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    retry_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be non-negative")
+        if self.backoff_multiplier <= 0:
+            raise ConfigurationError("backoff_multiplier must be positive")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ConfigurationError("retry_budget must be non-negative")
+
+    def delay_s(self, failures: int) -> float:
+        """Backoff before the retry following the ``failures``-th kill."""
+        if failures < 1:
+            raise ConfigurationError("failures must be >= 1")
+        return self.backoff_s * self.backoff_multiplier ** (failures - 1)
+
+
+@dataclass(frozen=True)
+class DegradedModePolicy:
+    """Load shedding while the fleet is degraded.
+
+    While fewer than ``capacity_threshold`` of the units are live, queued
+    requests in the shed set — ``priority > shed_priority_above`` and/or
+    ``service_class in shed_classes`` — abandon immediately with reason
+    :data:`ABANDON_SHED` instead of competing with protected traffic for
+    the reduced capacity.  With the default threshold of 1.0 shedding is
+    active whenever *any* unit is down; lower thresholds tolerate partial
+    outages before shedding starts.
+    """
+
+    capacity_threshold: float = 1.0
+    shed_priority_above: int | None = None
+    shed_classes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_threshold <= 1.0:
+            raise ConfigurationError(
+                "capacity_threshold must be in (0, 1]"
+            )
+        if self.shed_priority_above is None and not self.shed_classes:
+            raise ConfigurationError(
+                "a degraded-mode policy needs a shed criterion: "
+                "shed_priority_above and/or shed_classes"
+            )
+
+    def active(self, live_units: int, total_units: int) -> bool:
+        """Whether shedding is on at this live/total capacity."""
+        if total_units <= 0:
+            return False
+        return live_units < self.capacity_threshold * total_units
+
+    def sheds(self, request) -> bool:
+        """Whether ``request`` belongs to the shed set."""
+        if (
+            self.shed_priority_above is not None
+            and request.priority > self.shed_priority_above
+        ):
+            return True
+        return request.service_class in self.shed_classes

@@ -42,19 +42,23 @@ class FleetMember:
     ``platform`` may be a :class:`~repro.backends.base.Backend`, a
     registered backend name (``FleetMember("dfx", "dfx", 2)`` builds the
     default DFX cluster adapter), or a legacy platform model.
-    ``max_batch_size`` > 1 marks the member's clusters batch-capable; the
-    resolved backend's capabilities must then support batching.
+    ``num_clusters=None`` (the default) takes the cluster count from the
+    resolved backend's capabilities (``capabilities().num_units``), so
+    presets like ``FleetMember("host0", "dfx-4u")`` spell their shape by
+    name.  ``max_batch_size`` > 1 marks the member's clusters
+    batch-capable; the resolved backend's capabilities must then support
+    batching.
     """
 
     name: str
     platform: PlatformModel | Backend | str
-    num_clusters: int = 1
+    num_clusters: int | None = None
     max_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("fleet member needs a non-empty name")
-        if self.num_clusters <= 0:
+        if self.num_clusters is not None and self.num_clusters <= 0:
             raise ConfigurationError("num_clusters must be positive")
         if self.max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -69,6 +73,9 @@ class ApplianceFleet:
         scheduler: str | SchedulingPolicy = "fifo",
         name: str | None = None,
         batch_policy: str | BatchFormationPolicy = "none",
+        faults=None,
+        retry_policy=None,
+        degraded_mode=None,
     ) -> None:
         if not members:
             raise ConfigurationError("a fleet needs at least one member")
@@ -79,10 +86,23 @@ class ApplianceFleet:
         self.scheduler = scheduler
         self.batch_policy = batch_policy
         self.name = name or "+".join(names)
+        self.faults = faults
+        self.retry_policy = retry_policy
+        self.degraded_mode = degraded_mode
         # Each member's platform spec (backend, name, or legacy model) is
         # resolved once at fleet build time.
         self._backends = {
             member.name: resolve_backend(member.platform) for member in self.members
+        }
+        # num_clusters=None members take their count from the backend's
+        # declared capabilities (e.g. "dfx-4u" carries two clusters).
+        self._cluster_counts = {
+            member.name: (
+                member.num_clusters
+                if member.num_clusters is not None
+                else self._backends[member.name].capabilities().num_units
+            )
+            for member in self.members
         }
         # One oracle per member so repeated shapes stay cheap across traces.
         self._oracles = {
@@ -106,7 +126,16 @@ class ApplianceFleet:
     @property
     def num_clusters(self) -> int:
         """Total server units across the fleet."""
-        return sum(member.num_clusters for member in self.members)
+        return sum(self._cluster_counts.values())
+
+    def clusters_for(self, member_name: str) -> int:
+        """Resolved cluster count of one member (after capability defaults)."""
+        if member_name not in self._cluster_counts:
+            raise ConfigurationError(
+                f"no fleet member named {member_name!r}; "
+                f"members: {[m.name for m in self.members]}"
+            )
+        return self._cluster_counts[member_name]
 
     def backend_for(self, member_name: str) -> Backend:
         """The resolved backend serving one member's clusters."""
@@ -121,7 +150,7 @@ class ApplianceFleet:
         units: list[ServerUnit] = []
         for member in self.members:
             oracle = self._oracles[member.name]
-            for _ in range(member.num_clusters):
+            for _ in range(self._cluster_counts[member.name]):
                 units.append(
                     ServerUnit(
                         unit_id=len(units),
@@ -141,4 +170,7 @@ class ApplianceFleet:
             scheduler=make_scheduler(self.scheduler),
             platform=self.name,
             batching=make_batch_policy(self.batch_policy),
+            faults=self.faults,
+            retry_policy=self.retry_policy,
+            degraded_mode=self.degraded_mode,
         )

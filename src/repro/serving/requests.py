@@ -52,6 +52,9 @@ class ServiceRequest:
     slo_s: float | None = None
     patience_s: float | None = None
     service_class: str = DEFAULT_SERVICE_CLASS
+    #: Whether the request may be re-dispatched after a unit failure kills
+    #: it mid-flight (non-idempotent requests opt out and fail immediately).
+    retryable: bool = True
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
@@ -368,7 +371,20 @@ def diurnal_trace(
 #: arrival_time_s / input_tokens / output_tokens).
 _REPLAY_OPTIONAL_FIELDS = (
     "request_id", "priority", "slo_s", "patience_s", "service_class",
+    "retryable",
 )
+
+
+def _parse_bool(value) -> bool:
+    """Parse a log field as a boolean (accepts JSON bools and CSV strings)."""
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("true", "1", "yes"):
+        return True
+    if text in ("false", "0", "no"):
+        return False
+    raise ValueError(f"expected a boolean, got {value!r}")
 
 
 def _replay_record(record: dict, line_number: int, source: str) -> dict:
@@ -392,6 +408,7 @@ def _replay_record(record: dict, line_number: int, source: str) -> dict:
     converters = {
         "request_id": int, "priority": int,
         "slo_s": float, "patience_s": float, "service_class": str,
+        "retryable": _parse_bool,
     }
     for name in _REPLAY_OPTIONAL_FIELDS:
         value = record.get(name)
@@ -411,8 +428,8 @@ def replay_trace(path: str | Path, format: str = "auto") -> list[ServiceRequest]
 
     Each record needs ``arrival_time_s``, ``input_tokens``, and
     ``output_tokens``; the service-level fields (``request_id``,
-    ``priority``, ``slo_s``, ``patience_s``, ``service_class``) are
-    optional and empty CSV cells mean "unset".  JSONL logs carry one JSON
+    ``priority``, ``slo_s``, ``patience_s``, ``service_class``,
+    ``retryable``) are optional and empty CSV cells mean "unset".  JSONL logs carry one JSON
     object per line (blank lines skipped); CSV logs need a header row.
     ``format`` is ``"csv"``, ``"jsonl"``, or ``"auto"`` (by file suffix:
     ``.jsonl`` / ``.ndjson`` / ``.json`` are JSONL, anything else CSV).

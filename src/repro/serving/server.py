@@ -46,6 +46,14 @@ ABANDON_TIMEOUT = "timeout"
 #: Abandonment reason: the deadline scheduler proved the SLO unmeetable.
 ABANDON_INFEASIBLE = "infeasible-deadline"
 
+#: Failure reason: killed by a unit failure with no retry policy (or the
+#: request was tagged non-retryable).
+FAIL_UNIT = "unit-failure"
+#: Failure reason: killed after exhausting the retry policy's max attempts.
+FAIL_RETRIES = "retries-exhausted"
+#: Failure reason: killed while the run's global retry budget was dry.
+FAIL_BUDGET = "retry-budget-exhausted"
+
 
 class PlatformModel(Protocol):
     """Anything that can estimate one request's end-to-end result.
@@ -100,6 +108,9 @@ class CompletedRequest:
     appliance: str = ""
     batch_id: int | None = None
     batch_size: int = 1
+    # Dispatches it took to complete the request: 1 unless a unit failure
+    # killed an earlier attempt and the retry policy re-enqueued it.
+    attempts: int = 1
 
     @property
     def queueing_delay_s(self) -> float:
@@ -139,6 +150,23 @@ class AbandonedRequest:
         return self.abandoned_time_s - self.request.arrival_time_s
 
 
+@dataclass(frozen=True)
+class FailedRequest:
+    """A request the system killed and could not (or would not) retry.
+
+    Distinct from :class:`AbandonedRequest`: an abandonment is the *client*
+    leaving (patience, infeasible deadline, shedding); a failure is the
+    *system* losing the request to a unit fault after any retries ran out.
+    """
+
+    request: ServiceRequest
+    failed_time_s: float
+    # FAIL_UNIT, FAIL_RETRIES, or FAIL_BUDGET.
+    reason: str
+    #: Dispatches attempted before the request was declared failed.
+    attempts: int = 1
+
+
 @dataclass
 class ServingReport:
     """Aggregate statistics of one serving simulation.
@@ -160,6 +188,19 @@ class ServingReport:
     first_arrival_s: float = 0.0
     appliance_clusters: dict[str, int] = field(default_factory=dict)
     batch_policy: str = "none"
+    # ----------------------------------------------- availability accounting
+    failed: list[FailedRequest] = field(default_factory=list)
+    #: Retries spent across the run (kills that were re-enqueued).
+    num_retries: int = 0
+    #: Per-retried-request failover latency: kill time to restart time.
+    failover_delays_s: list[float] = field(default_factory=list)
+    #: Merged down windows per unit id, from the compiled fault schedule
+    #: (an open-ended fail-stop window ends at ``inf``).
+    unit_downtime: dict[int, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
+    #: Appliance name of each unit id (for per-appliance availability).
+    unit_appliance: dict[int, str] = field(default_factory=dict)
     # Lazily-built statistic arrays, keyed on (list object, length) so both
     # appends and wholesale list replacement invalidate them (the cache holds
     # the list reference and compares with ``is``, so a freed list's id can
@@ -221,9 +262,13 @@ class ServingReport:
         return len(self.abandoned)
 
     @property
+    def num_failed(self) -> int:
+        return len(self.failed)
+
+    @property
     def num_offered(self) -> int:
-        """Requests that entered the system (served plus abandoned)."""
-        return len(self.completed) + len(self.abandoned)
+        """Requests that entered the system (served, abandoned, or failed)."""
+        return len(self.completed) + len(self.abandoned) + len(self.failed)
 
     def response_time_percentile_s(
         self, percentile: float, service_class: str | None = None
@@ -247,9 +292,10 @@ class ServingReport:
         return float(np.percentile(np.asarray(values, dtype=np.float64), percentile))
 
     def service_classes(self) -> list[str]:
-        """Service-class labels present in the trace (completed or abandoned)."""
+        """Service-class labels present in the trace (any outcome)."""
         labels = {c.request.service_class for c in self.completed}
         labels.update(a.request.service_class for a in self.abandoned)
+        labels.update(f.request.service_class for f in self.failed)
         return sorted(labels)
 
     def percentiles_by_class(self, percentile: float) -> dict[str, float]:
@@ -424,19 +470,22 @@ class ServingReport:
     def slo_violations(self) -> int:
         """Offered requests with an SLO that were not served within it.
 
-        Counts completions beyond the SLO plus abandonments of SLO-carrying
-        requests; requests without an SLO can only violate by abandonment and
-        are reported through ``abandonment_rate`` instead.
+        Counts completions beyond the SLO plus abandonments and failures of
+        SLO-carrying requests; requests without an SLO can only violate by
+        leaving unserved and are reported through ``abandonment_rate`` /
+        ``failure_rate`` instead.
         """
         late = sum(1 for c in self.completed if not c.slo_met)
         dropped = sum(1 for a in self.abandoned if a.request.slo_s is not None)
-        return late + dropped
+        lost = sum(1 for f in self.failed if f.request.slo_s is not None)
+        return late + dropped + lost
 
     @property
     def slo_violation_rate(self) -> float:
         """SLO violations as a fraction of offered SLO-carrying requests."""
         offered = sum(1 for c in self.completed if c.request.slo_s is not None)
         offered += sum(1 for a in self.abandoned if a.request.slo_s is not None)
+        offered += sum(1 for f in self.failed if f.request.slo_s is not None)
         if offered == 0:
             return 0.0
         return self.slo_violations / offered
@@ -452,6 +501,95 @@ class ServingReport:
             return 0.0
         return self.total_energy_joules / self.num_requests
 
+    # -------------------------------------------------- availability / faults
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of offered requests lost to unit faults."""
+        if self.num_offered == 0:
+            return 0.0
+        return self.num_failed / self.num_offered
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Completed fraction of offered load (goodput vs offered).
+
+        1.0 on an empty trace (nothing offered, nothing lost); anything
+        below 1.0 under faults is load lost to failures, shedding, or
+        fault-induced abandonment.
+        """
+        if self.num_offered == 0:
+            return 1.0
+        return self.num_requests / self.num_offered
+
+    @property
+    def offered_per_hour(self) -> float:
+        """Offered request rate over the busy window (goodput's denominator)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.num_offered / self.makespan_s * 3600.0
+
+    @property
+    def mean_failover_delay_s(self) -> float:
+        """Mean kill-to-restart latency over retried dispatches."""
+        if not self.failover_delays_s:
+            return 0.0
+        return float(np.mean(self.failover_delays_s))
+
+    def _busy_window(self) -> tuple[float, float]:
+        return (self.first_arrival_s, self.first_arrival_s + self.makespan_s)
+
+    def downtime_by_unit(self) -> dict[int, float]:
+        """Downtime seconds per unit, clipped to the busy window.
+
+        Units that never went down map to 0.0; an open-ended fail-stop
+        window contributes from its start to the end of the busy window.
+        """
+        window_start, window_end = self._busy_window()
+        downtime: dict[int, float] = {
+            unit_id: 0.0 for unit_id in self.unit_appliance
+        }
+        for unit_id, windows in self.unit_downtime.items():
+            total = 0.0
+            for start, end in windows:
+                total += max(0.0, min(end, window_end) - max(start, window_start))
+            downtime[unit_id] = total
+        return downtime
+
+    @property
+    def availability(self) -> float:
+        """Fraction of unit-time the fleet was up over the busy window.
+
+        ``1 - downtime / (makespan * num_clusters)`` with downtime clipped
+        to the busy window; 1.0 when the window is empty or no faults were
+        scheduled.
+        """
+        if self.makespan_s <= 0 or self.num_clusters == 0:
+            return 1.0
+        lost = sum(self.downtime_by_unit().values())
+        return 1.0 - lost / (self.makespan_s * self.num_clusters)
+
+    def availability_by_appliance(self) -> dict[str, float]:
+        """Per-appliance availability over the busy window.
+
+        Falls back to ``appliance_clusters`` (all 1.0) when the run carried
+        no per-unit fault bookkeeping (pre-fault reports).
+        """
+        clusters = self.appliance_clusters or {self.platform: self.num_clusters}
+        if not self.unit_appliance or self.makespan_s <= 0:
+            return {name: 1.0 for name in clusters}
+        downtime = self.downtime_by_unit()
+        lost: dict[str, float] = {name: 0.0 for name in clusters}
+        counts: dict[str, int] = {name: 0 for name in clusters}
+        for unit_id, appliance in self.unit_appliance.items():
+            lost[appliance] = lost.get(appliance, 0.0) + downtime.get(unit_id, 0.0)
+            counts[appliance] = counts.get(appliance, 0) + 1
+        return {
+            name: 1.0 - lost[name] / (self.makespan_s * counts[name])
+            if counts.get(name)
+            else 1.0
+            for name in clusters
+        }
+
 
 class ApplianceServer:
     """A server appliance with ``num_clusters`` independent accelerator clusters.
@@ -463,7 +601,15 @@ class ApplianceServer:
 
     ``platform`` may be a :class:`~repro.backends.base.Backend`, a
     registered backend name (``ApplianceServer("dfx", 2)``), or a legacy
-    platform model with ``run(workload)``.
+    platform model with ``run(workload)``.  ``num_clusters=None`` (the
+    default) takes the cluster count from the backend's capabilities
+    (``capabilities().num_units``), so presets like ``"dfx-4u"`` spell the
+    fleet shape by name; pass an explicit count to override.
+
+    ``faults`` (a :class:`~repro.serving.faults.FaultSchedule`),
+    ``retry_policy``, and ``degraded_mode`` configure fault injection for
+    every ``serve()`` call — kept on the server object so capacity searches
+    that call bare ``serve(trace)`` run the same campaign at every rate.
 
     ``batch_policy`` decides when batches form; ``max_batch_size`` is the
     per-cluster capacity and defaults to the policy's own batch size, so
@@ -478,16 +624,24 @@ class ApplianceServer:
     """
 
     def __init__(self, platform: PlatformModel | Backend | str,
-                 num_clusters: int = 1,
+                 num_clusters: int | None = None,
                  platform_name: str | None = None,
                  scheduler: str | object = "fifo",
                  batch_policy: str | object = "none",
-                 max_batch_size: int | None = None) -> None:
-        if num_clusters <= 0:
-            raise ConfigurationError("num_clusters must be positive")
+                 max_batch_size: int | None = None,
+                 faults=None,
+                 retry_policy=None,
+                 degraded_mode=None) -> None:
         self.backend = resolve_backend(platform)
         self.oracle = LatencyOracle(self.backend)
+        if num_clusters is None:
+            num_clusters = self.backend.capabilities().num_units
+        if num_clusters <= 0:
+            raise ConfigurationError("num_clusters must be positive")
         self.num_clusters = num_clusters
+        self.faults = faults
+        self.retry_policy = retry_policy
+        self.degraded_mode = degraded_mode
         if platform_name is None:
             # Backends carry their registry name; legacy platform models
             # keep the historical type-name default.
@@ -536,6 +690,9 @@ class ApplianceServer:
             scheduler=make_scheduler(self.scheduler),
             platform=self.platform_name,
             batching=self.batch_policy,
+            faults=self.faults,
+            retry_policy=self.retry_policy,
+            degraded_mode=self.degraded_mode,
         )
 
 

@@ -40,12 +40,30 @@ concurrency's rate.  Superseded completion events stay in the heap and are
 skipped by an epoch check (lazy deletion); a stream's provisional
 completion record is replaced in place when it really finishes, so
 ``report.completed`` keeps dispatch order.
+
+Fault injection (``repro.serving.faults``) adds a fourth event source: a
+compiled :class:`~repro.serving.faults.FaultSchedule` feeds a timeline of
+``down``/``up``/``slow``/``unslow`` events into the loop.  A unit going
+down kills its in-flight work — dispatch records are retracted, energy
+already billed for the unserved remainder is refunded, and each victim is
+re-enqueued through the :class:`~repro.serving.faults.RetryPolicy` (after
+its exponential backoff) or recorded as a
+:class:`~repro.serving.server.FailedRequest`.  Down units never appear in
+the dispatch candidate set; a degraded-mode policy may shed queued
+low-priority traffic while capacity is reduced.  Link degradation scales a
+unit's service times by a slowdown factor: work priced while a factor is
+active runs slower, and re-priced decode streams re-run their remainder at
+each factor change.  In-flight gather-mode work keeps its priced finish
+time across a degradation (only failures retract dispatched work).  With
+no faults scheduled every multiplier is exactly 1.0 and every fault branch
+is dead, so the simulation is bit-identical to the pre-fault simulator.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -54,13 +72,28 @@ from repro.serving.batching import (
     BatchFormationPolicy,
     make_batch_policy,
 )
+from repro.serving.faults import (
+    ABANDON_SHED,
+    EVENT_DOWN,
+    EVENT_SLOW,
+    EVENT_UNSLOW,
+    EVENT_UP,
+    DegradedModePolicy,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+)
 from repro.serving.requests import ServiceRequest
 from repro.serving.schedulers import SchedulingPolicy
 from repro.serving.server import (
     ABANDON_INFEASIBLE,
     ABANDON_TIMEOUT,
+    FAIL_BUDGET,
+    FAIL_RETRIES,
+    FAIL_UNIT,
     AbandonedRequest,
     CompletedRequest,
+    FailedRequest,
     LatencyOracle,
     ServingReport,
 )
@@ -89,6 +122,24 @@ class _DecodeStream:
     finish_s: float
     epoch: int = 0
     energy_joules: float = 0.0
+    #: Slowdown factor in effect for the current segment (link degradation).
+    slowdown: float = 1.0
+
+
+@dataclass
+class _InflightDispatch:
+    """One immutable in-flight dispatch, registered so a fault can kill it.
+
+    Gather-mode batches, singletons, and legacy (non-repriced) continuous
+    admissions all pass through here; re-priced decode streams carry their
+    own state in :class:`_DecodeStream` instead.
+    """
+
+    requests: list[ServiceRequest]
+    record_indices: list[int]
+    start_s: float
+    finish_s: float
+    energy_joules: float
 
 
 @dataclass
@@ -115,18 +166,33 @@ class ServerUnit:
     slots: int = 1
     reprice: bool = False
     streams: dict[int, _DecodeStream] = field(default_factory=dict)
+    # Fault state: a down unit takes no dispatches; ``slowdown`` is the
+    # product of the active link-degradation factors (exactly 1.0 when none
+    # are active, so fault-free pricing is bit-identical).
+    up: bool = True
+    slowdown: float = 1.0
+    slow_factors: list[float] = field(default_factory=list)
+    inflight: dict[int, _InflightDispatch] = field(default_factory=dict)
 
     @property
     def busy(self) -> bool:
         return self.active >= self.slots
 
+    @property
+    def available(self) -> bool:
+        """Whether the unit can take a dispatch right now (live and not full)."""
+        return self.up and not self.busy
+
     def service_time_s(self, request: ServiceRequest) -> float:
         """Estimated service time of ``request`` dispatched on this unit now."""
         if self.slots > 1:
-            return self.batch_costs.continuous_latency_s(
-                request.workload, self.active + 1
+            return (
+                self.batch_costs.continuous_latency_s(
+                    request.workload, self.active + 1
+                )
+                * self.slowdown
             )
-        return self.oracle.service_time_s(request.workload)
+        return self.oracle.service_time_s(request.workload) * self.slowdown
 
 
 @dataclass
@@ -149,19 +215,49 @@ class _SimulationState:
     flush_at_s: float = float("inf")
     next_batch_id: int = 0
     next_stream_id: int = 0
+    # Fault handling (all inert when no fault schedule is compiled).
+    retry_policy: RetryPolicy | None = None
+    degraded_mode: DegradedModePolicy | None = None
+    #: Kills suffered so far, by request id (== dispatches attempted).
+    attempts: dict[int, int] = field(default_factory=dict)
+    #: Heap of (retry_time_s, seq, request) awaiting re-enqueue.
+    retries: list[tuple[float, int, ServiceRequest]] = field(default_factory=list)
+    next_retry_seq: int = 0
+    retry_budget_left: int | None = None
+    #: Kill time of retried requests not yet re-dispatched (failover latency).
+    pending_failover: dict[int, float] = field(default_factory=dict)
 
     def idle_units(self) -> list[ServerUnit]:
-        return [unit for unit in self.units if not unit.busy]
+        return [unit for unit in self.units if unit.available]
 
     def abandon(self, request: ServiceRequest, time_s: float, reason: str) -> None:
         self.report.abandoned.append(
             AbandonedRequest(request=request, abandoned_time_s=time_s, reason=reason)
         )
 
+    def shed_queue(self, now: float) -> None:
+        """Degraded mode: drop queued shed-class traffic while capacity is low."""
+        if self.degraded_mode is None or not self.queue:
+            return
+        live = sum(1 for unit in self.units if unit.up)
+        if not self.degraded_mode.active(live, len(self.units)):
+            return
+        still_waiting = []
+        for request in self.queue:
+            if self.has_patience and request.abandon_time_s < now:
+                # The client already left; record the timeout, not a shed.
+                self.abandon(request, request.abandon_time_s, ABANDON_TIMEOUT)
+            elif self.degraded_mode.sheds(request):
+                self.abandon(request, now, ABANDON_SHED)
+            else:
+                still_waiting.append(request)
+        self.queue[:] = still_waiting
+
     def dispatch(self, now: float) -> None:
         """Start queued requests on idle units until one side runs out."""
         # Any previously-registered hold is re-evaluated from scratch below.
         self.flush_at_s = float("inf")
+        self.shed_queue(now)
         if not self.queue or not self.idle_units():
             return
         # Patience ran out strictly before now: those requests left the
@@ -178,13 +274,17 @@ class _SimulationState:
             self.queue[:] = still_waiting
 
         def system_estimate(request: ServiceRequest) -> float:
-            # Singleton service time on the best unit in the whole system — a
-            # lower bound on any achievable service time (batches only slow a
-            # member down), so deadline policies can treat
+            # Singleton service time on the best *live* unit in the system —
+            # a lower bound on any achievable service time (batches only slow
+            # a member down), so deadline policies can treat
             # ``now + estimate(r) > deadline`` as a proof of infeasibility
-            # even when the fast units are momentarily busy.
+            # even when the fast units are momentarily busy.  Down units
+            # cannot serve and degraded units pay their slowdown.  At least
+            # one unit is live here: ``idle_units()`` was non-empty above.
             return min(
-                unit.oracle.service_time_s(request.workload) for unit in self.units
+                unit.oracle.service_time_s(request.workload) * unit.slowdown
+                for unit in self.units
+                if unit.up
             )
 
         dropped = self.scheduler.infeasible(now, self.queue, system_estimate)
@@ -198,7 +298,7 @@ class _SimulationState:
         while self.queue:
             available = [
                 unit for unit in self.units
-                if not unit.busy and unit.unit_id not in held
+                if unit.available and unit.unit_id not in held
             ]
             if not available:
                 return
@@ -261,10 +361,15 @@ class _SimulationState:
         if unit.slots > 1:
             # Legacy continuous mode (reprice=False): priced once at the
             # concurrency reached by this admission; recorded batch size is
-            # that decode occupancy.
+            # that decode occupancy.  ``slowdown`` (exactly 1.0 fault-free)
+            # stretches the wall clock; energy is billed over the stretched
+            # clock, so a degraded link burns proportionally more.
             concurrency = unit.active + 1
             workload = requests[0].workload
-            latency_s = unit.batch_costs.continuous_latency_s(workload, concurrency)
+            latency_s = (
+                unit.batch_costs.continuous_latency_s(workload, concurrency)
+                * unit.slowdown
+            )
             energy_joules = unit.batch_costs.continuous_energy_joules(
                 workload, concurrency, latency_s
             )
@@ -273,21 +378,23 @@ class _SimulationState:
             # The exact legacy arithmetic: singleton dispatches reproduce the
             # unbatched simulator bit for bit regardless of the batch policy.
             result = unit.oracle.result_for(requests[0].workload)
-            latency_s = result.latency_s
-            energy_joules = result.energy_joules
+            latency_s = result.latency_s * unit.slowdown
+            energy_joules = result.energy_joules * unit.slowdown
             batch_size = 1
         else:
             workloads = [request.workload for request in requests]
-            latency_s = unit.batch_costs.batch_latency_s(workloads)
+            latency_s = unit.batch_costs.batch_latency_s(workloads) * unit.slowdown
             energy_joules = unit.batch_costs.batch_energy_joules(workloads, latency_s)
             batch_size = len(requests)
         finish = now + latency_s
         unit.active += 1
         unit.free_at_s = max(unit.free_at_s, finish)
-        heapq.heappush(self.completions, (finish, unit.unit_id, -1, 0))
         batch_id = self.next_batch_id
         self.next_batch_id += 1
+        heapq.heappush(self.completions, (finish, unit.unit_id, -1, batch_id))
+        record_indices = []
         for request in requests:
+            record_indices.append(len(self.report.completed))
             self.report.completed.append(
                 CompletedRequest(
                     request=request,
@@ -297,8 +404,17 @@ class _SimulationState:
                     appliance=unit.appliance,
                     batch_id=batch_id,
                     batch_size=batch_size,
+                    attempts=self.attempts.get(request.request_id, 0) + 1,
                 )
             )
+            self.record_failover(request, now)
+        unit.inflight[batch_id] = _InflightDispatch(
+            requests=list(requests),
+            record_indices=record_indices,
+            start_s=now,
+            finish_s=finish,
+            energy_joules=energy_joules,
+        )
         self.report.total_energy_joules += energy_joules
 
     # ------------------------------------------------- continuous re-pricing
@@ -316,7 +432,10 @@ class _SimulationState:
         """
         concurrency = unit.active + 1
         workload = request.workload
-        latency_s = unit.batch_costs.continuous_latency_s(workload, concurrency)
+        latency_s = (
+            unit.batch_costs.continuous_latency_s(workload, concurrency)
+            * unit.slowdown
+        )
         finish = now + latency_s
         unit.active += 1
         unit.free_at_s = max(unit.free_at_s, finish)
@@ -332,8 +451,10 @@ class _SimulationState:
                 appliance=unit.appliance,
                 batch_id=batch_id,
                 batch_size=concurrency,
+                attempts=self.attempts.get(request.request_id, 0) + 1,
             )
         )
+        self.record_failover(request, now)
         stream_id = self.next_stream_id
         self.next_stream_id += 1
         unit.streams[stream_id] = _DecodeStream(
@@ -343,6 +464,7 @@ class _SimulationState:
             fraction_done=0.0,
             last_change_s=now,
             finish_s=finish,
+            slowdown=unit.slowdown,
         )
         heapq.heappush(self.completions, (finish, unit.unit_id, stream_id, 0))
         # The new admission crowds everyone already decoding on the unit.
@@ -354,12 +476,13 @@ class _SimulationState:
         """Re-price a unit's in-flight streams after an occupancy change.
 
         Each stream first banks the segment that just ended (work fraction
-        and energy at the concurrency that held), then its remaining work
-        is re-run at the unit's new occupancy.  A superseded completion
-        event stays in the heap; bumping the stream's epoch makes the event
-        loop skip it.  Every caller changes the occupancy by exactly one
-        before calling, so each surviving stream's concurrency really is
-        stale here.
+        and energy at the concurrency — and slowdown factor — that held),
+        then its remaining work is re-run at the unit's new occupancy and
+        current slowdown.  A superseded completion event stays in the heap;
+        bumping the stream's epoch makes the event loop skip it.  Callers
+        either change the occupancy by exactly one (admission/departure) or
+        keep it and change the slowdown (a degradation boundary), so each
+        surviving stream's rate really is stale here.
         """
         for stream_id, stream in unit.streams.items():
             if stream_id == exclude:
@@ -367,8 +490,11 @@ class _SimulationState:
             workload = stream.request.workload
             elapsed = now - stream.last_change_s
             if elapsed > 0:
-                old_total = unit.batch_costs.continuous_latency_s(
-                    workload, stream.concurrency
+                old_total = (
+                    unit.batch_costs.continuous_latency_s(
+                        workload, stream.concurrency
+                    )
+                    * stream.slowdown
                 )
                 if old_total > 0:
                     stream.fraction_done = min(
@@ -379,8 +505,10 @@ class _SimulationState:
                 )
             stream.last_change_s = now
             stream.concurrency = unit.active
-            new_total = unit.batch_costs.continuous_latency_s(
-                workload, stream.concurrency
+            stream.slowdown = unit.slowdown
+            new_total = (
+                unit.batch_costs.continuous_latency_s(workload, stream.concurrency)
+                * unit.slowdown
             )
             remaining = max(0.0, 1.0 - stream.fraction_done) * new_total
             stream.finish_s = now + remaining
@@ -408,6 +536,139 @@ class _SimulationState:
         # The departure frees decode bandwidth for the survivors.
         self.reprice_streams(unit, now)
 
+    # --------------------------------------------------------- fault handling
+    def record_failover(self, request: ServiceRequest, now: float) -> None:
+        """Log kill-to-restart latency when a retried request re-dispatches."""
+        kill_time = self.pending_failover.pop(request.request_id, None)
+        if kill_time is not None:
+            self.report.failover_delays_s.append(now - kill_time)
+
+    def apply_fault(self, unit: ServerUnit, event: FaultEvent, now: float) -> None:
+        """Apply one compiled fault-timeline event to ``unit``."""
+        if event.kind == EVENT_DOWN:
+            self.fail_unit(unit, now)
+        elif event.kind == EVENT_UP:
+            unit.up = True
+        elif event.kind == EVENT_SLOW:
+            unit.slow_factors.append(event.slowdown)
+            self.change_slowdown(unit, now)
+        elif event.kind == EVENT_UNSLOW:
+            # Remove one instance of this factor (degradations stack).
+            unit.slow_factors.remove(event.slowdown)
+            self.change_slowdown(unit, now)
+        else:  # pragma: no cover - compile() only emits the four kinds
+            raise ConfigurationError(f"unknown fault event kind {event.kind!r}")
+
+    def change_slowdown(self, unit: ServerUnit, now: float) -> None:
+        """Recompute a unit's slowdown from its active degradation stack.
+
+        Re-priced decode streams bank the segment served at the old factor
+        and re-run their remainder at the new one; already-priced immutable
+        dispatches keep their finish times (a degradation only affects work
+        priced while it is active).
+        """
+        product = 1.0
+        for factor in unit.slow_factors:
+            product *= factor
+        if product == unit.slowdown:
+            return
+        unit.slowdown = product
+        if unit.reprice and unit.streams:
+            self.reprice_streams(unit, now)
+
+    def fail_unit(self, unit: ServerUnit, now: float) -> None:
+        """Take ``unit`` down, killing and re-routing its in-flight work.
+
+        Dispatch-time completion records of the victims are retracted (the
+        request did not complete here), energy billed for the unserved
+        remainder is refunded, and every victim goes through the retry
+        policy.  The unit stays busy-looking only through ``up=False`` —
+        its slots are freed so a later repair restores full capacity.
+        """
+        if not unit.up:
+            return
+        unit.up = False
+        # (record_index, request) pairs, processed in record order so retry
+        # arrival order is deterministic.
+        victims: list[tuple[int, ServiceRequest]] = []
+        for batch_id, inflight in sorted(unit.inflight.items()):
+            span = inflight.finish_s - inflight.start_s
+            if span > 0:
+                self.report.total_energy_joules -= (
+                    inflight.energy_joules * (inflight.finish_s - now) / span
+                )
+            victims.extend(zip(inflight.record_indices, inflight.requests))
+            unit.active -= 1
+        unit.inflight.clear()
+        for stream_id in sorted(unit.streams):
+            stream = unit.streams[stream_id]
+            # Bank what the stream really consumed before the crash; the
+            # remainder was never served, so nothing to refund.
+            elapsed = now - stream.last_change_s
+            if elapsed > 0:
+                stream.energy_joules += unit.batch_costs.continuous_energy_joules(
+                    stream.request.workload, stream.concurrency, elapsed
+                )
+            self.report.total_energy_joules += stream.energy_joules
+            victims.append((stream.record_index, stream.request))
+            unit.active -= 1
+        unit.streams.clear()
+        if not victims:
+            return
+        victims.sort(key=lambda pair: pair[0])
+        removed = [record_index for record_index, _ in victims]
+        for record_index in reversed(removed):
+            del self.report.completed[record_index]
+        # Surviving streams/dispatches (on other units) point into the
+        # completed list by index; shift each down by the records removed
+        # below it.
+        for other in self.units:
+            for stream in other.streams.values():
+                stream.record_index -= bisect_left(removed, stream.record_index)
+            for inflight in other.inflight.values():
+                inflight.record_indices = [
+                    index - bisect_left(removed, index)
+                    for index in inflight.record_indices
+                ]
+        self.report.invalidate_caches()
+        for _, request in victims:
+            self.requeue_or_fail(request, now)
+
+    def requeue_or_fail(self, request: ServiceRequest, now: float) -> None:
+        """Route one killed request: schedule a retry or record the failure."""
+        failures = self.attempts.get(request.request_id, 0) + 1
+        self.attempts[request.request_id] = failures
+        policy = self.retry_policy
+
+        def fail(reason: str) -> None:
+            self.report.failed.append(
+                FailedRequest(
+                    request=request,
+                    failed_time_s=now,
+                    reason=reason,
+                    attempts=failures,
+                )
+            )
+
+        if policy is None or policy.max_attempts == 1 or not request.retryable:
+            fail(FAIL_UNIT)
+            return
+        if failures >= policy.max_attempts:
+            fail(FAIL_RETRIES)
+            return
+        if self.retry_budget_left is not None:
+            if self.retry_budget_left <= 0:
+                fail(FAIL_BUDGET)
+                return
+            self.retry_budget_left -= 1
+        heapq.heappush(
+            self.retries,
+            (now + policy.delay_s(failures), self.next_retry_seq, request),
+        )
+        self.next_retry_seq += 1
+        self.report.num_retries += 1
+        self.pending_failover[request.request_id] = now
+
 
 def simulate(
     units: list[ServerUnit],
@@ -415,6 +676,9 @@ def simulate(
     scheduler: SchedulingPolicy,
     platform: str,
     batching: BatchFormationPolicy | str | None = None,
+    faults: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
+    degraded_mode: DegradedModePolicy | None = None,
 ) -> ServingReport:
     """Replay ``trace`` against ``units`` under ``scheduler`` and ``batching``.
 
@@ -424,6 +688,12 @@ def simulate(
     arrival order, matching the legacy serve loop).  ``batching`` defaults
     to ``"none"``: every dispatch is a singleton and the simulation is
     identical to the pre-batching simulator.
+
+    ``faults`` is an optional :class:`~repro.serving.faults.FaultSchedule`,
+    compiled here against the concrete units; ``retry_policy`` routes
+    requests killed by failures and ``degraded_mode`` sheds low-priority
+    queued traffic while capacity is reduced.  ``faults=None`` and an empty
+    schedule are equivalent (and bit-identical to the pre-fault simulator).
     """
     units_by_id = {unit.unit_id: unit for unit in units}
     if len(units_by_id) != len(units):
@@ -447,9 +717,15 @@ def simulate(
             policy.continuous and getattr(policy, "reprice", False)
         )
         unit.streams.clear()
+        unit.inflight.clear()
+        unit.slow_factors.clear()
+        unit.up = True
+        unit.slowdown = 1.0
     appliance_clusters: dict[str, int] = {}
     for unit in units:
         appliance_clusters[unit.appliance] = appliance_clusters.get(unit.appliance, 0) + 1
+    compiled = faults.compile(units) if faults is not None else None
+    fault_events: tuple[FaultEvent, ...] = compiled.events if compiled else ()
     report = ServingReport(
         platform=platform,
         num_clusters=len(units),
@@ -457,6 +733,9 @@ def simulate(
         appliance_clusters=appliance_clusters,
         batch_policy=policy.name,
     )
+    report.unit_appliance = {unit.unit_id: unit.appliance for unit in units}
+    if compiled:
+        report.unit_downtime = dict(compiled.downtime)
     if not trace:
         return report
 
@@ -467,41 +746,79 @@ def simulate(
         batching=policy,
         report=report,
         has_patience=any(request.patience_s is not None for request in arrivals),
+        retry_policy=retry_policy,
+        degraded_mode=degraded_mode,
+        retry_budget_left=(
+            retry_policy.retry_budget if retry_policy is not None else None
+        ),
     )
     inf = float("inf")
     next_arrival = 0
+    fault_index = 0
     now = arrivals[0].arrival_time_s
     while (
         next_arrival < len(arrivals)
         or state.completions
+        or state.retries
         or state.flush_at_s < inf
+        # A stuck queue (every unit down) must still wake for repairs; once
+        # the queue is empty, remaining fault events cannot change any
+        # outcome (downtime accounting is analytic, from the compiled
+        # schedule) so the loop need not replay them.
+        or (state.queue and fault_index < len(fault_events))
     ):
         next_completion_s = state.completions[0][0] if state.completions else inf
+        next_fault_s = (
+            fault_events[fault_index].time_s
+            if fault_index < len(fault_events)
+            else inf
+        )
+        next_retry_s = state.retries[0][0] if state.retries else inf
         next_arrival_s = (
             arrivals[next_arrival].arrival_time_s
             if next_arrival < len(arrivals)
             else inf
         )
         # Completions fire before arrivals at the same instant, lowest unit
-        # id first, mirroring the legacy min-heap pop order; flush deadlines
-        # yield to both (a coinciding completion or arrival re-runs dispatch
-        # anyway, which re-evaluates the hold).
-        if next_completion_s <= min(next_arrival_s, state.flush_at_s):
-            completion_s, unit_id, stream_id, epoch = heapq.heappop(
+        # id first, mirroring the legacy min-heap pop order; a coinciding
+        # failure then cannot kill work that finished at the same instant.
+        # Faults fire next (so retries and arrivals at the instant see the
+        # post-fault capacity), then retries, then arrivals; flush deadlines
+        # yield to everything (a coinciding event re-runs dispatch anyway,
+        # which re-evaluates the hold).
+        if next_completion_s <= min(
+            next_fault_s, next_retry_s, next_arrival_s, state.flush_at_s
+        ):
+            completion_s, unit_id, stream_id, dispatch_id = heapq.heappop(
                 state.completions
             )
             unit = units_by_id[unit_id]
             if stream_id >= 0:
                 stream = unit.streams.get(stream_id)
-                if stream is None or stream.epoch != epoch:
-                    # Superseded by a re-price: nothing happened at this
-                    # instant, so the clock and the queue stay untouched.
+                if stream is None or stream.epoch != dispatch_id:
+                    # Superseded by a re-price, or killed by a failure:
+                    # nothing happened at this instant, so the clock and
+                    # the queue stay untouched.
                     continue
                 now = completion_s
                 state.finish_stream(unit, stream_id, now)
             else:
+                inflight = unit.inflight.pop(dispatch_id, None)
+                if inflight is None:
+                    # The dispatch was killed by a unit failure; its stale
+                    # completion event is skipped (lazy deletion).
+                    continue
                 now = completion_s
                 unit.active -= 1
+        elif next_fault_s <= min(next_retry_s, next_arrival_s, state.flush_at_s):
+            event = fault_events[fault_index]
+            fault_index += 1
+            now = event.time_s
+            state.apply_fault(units_by_id[event.unit_id], event, now)
+        elif next_retry_s <= min(next_arrival_s, state.flush_at_s):
+            retry_s, _, request = heapq.heappop(state.retries)
+            now = retry_s
+            state.queue.append(request)
         elif next_arrival_s <= state.flush_at_s:
             request = arrivals[next_arrival]
             next_arrival += 1

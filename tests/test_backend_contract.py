@@ -49,7 +49,7 @@ from serving_doubles import (
 )
 
 WORKLOAD = Workload(8, 8)
-BACKEND_NAMES = ("dfx", "dfx-sim", "gpu", "tpu")
+BACKEND_NAMES = ("dfx", "dfx-4u", "dfx-sim", "gpu", "tpu")
 
 
 @pytest.fixture(scope="module")

@@ -21,8 +21,11 @@ from repro.serving import (
     ApplianceFleet,
     ApplianceServer,
     ContinuousBatching,
+    DegradedModePolicy,
     DynamicBatching,
+    FaultSchedule,
     FleetMember,
+    RetryPolicy,
     SCHEDULERS,
     ServiceRequest,
 )
@@ -272,3 +275,127 @@ class TestSimulatorInvariants:
         for completed in report.completed:
             assert completed.cluster_id in valid_units
             assert completed.appliance in report.appliance_clusters
+
+
+def random_fault_scenario(seed: int):
+    """Build (trace, server) for one randomized fault-bearing configuration.
+
+    Faults are aggressive (per-unit MTBF comparable to the trace span) so
+    kills, retries, and failures all actually occur across the seed set.
+    """
+    rng = np.random.default_rng(10_000 + seed)
+    trace = random_trace(rng)
+    horizon_s = (trace[-1].arrival_time_s + 10.0) if trace else 10.0
+    faults = FaultSchedule.poisson(
+        mtbf_s=float(rng.uniform(1.0, 8.0)),
+        mttr_s=float(rng.uniform(0.5, 4.0)) if rng.random() < 0.8 else None,
+        duration_s=horizon_s,
+        seed=seed,
+    )
+    retry_policy = RetryPolicy(
+        max_attempts=int(rng.integers(1, 5)),
+        backoff_s=float(rng.uniform(0.01, 0.5)),
+        backoff_multiplier=float(rng.uniform(1.0, 2.5)),
+        retry_budget=int(rng.integers(0, 15)) if rng.random() < 0.3 else None,
+    )
+    degraded_mode = (
+        DegradedModePolicy(shed_priority_above=int(rng.integers(0, 2)))
+        if rng.random() < 0.3
+        else None
+    )
+    if rng.random() < 0.5:
+        batch_policy, max_batch_size = "none", 1
+    else:
+        max_batch_size = int(rng.integers(2, 6))
+        batch_policy = ContinuousBatching(max_batch_size)
+    server = ApplianceServer(
+        _BatchableTokenPlatform(
+            fixed_ms_per_token=float(rng.uniform(50.0, 400.0)),
+            marginal_ms_per_token=float(rng.uniform(1.0, 40.0)),
+        ),
+        num_clusters=int(rng.integers(1, 4)),
+        platform_name="faulty",
+        scheduler=str(rng.choice(sorted(SCHEDULERS))),
+        batch_policy=batch_policy,
+        max_batch_size=max_batch_size,
+        faults=faults,
+        retry_policy=retry_policy,
+        degraded_mode=degraded_mode,
+    )
+    return trace, server
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFaultInvariants:
+    def test_conservation_includes_failures_and_retries(self, seed):
+        trace, server = random_fault_scenario(seed)
+        report = server.serve(trace)
+        # Every offered request ends in exactly one outcome list, even when
+        # kills, retries, sheds, and exhausted budgets are in play.
+        assert report.num_offered == len(trace)
+        outcome_ids = sorted(
+            [c.request.request_id for c in report.completed]
+            + [a.request.request_id for a in report.abandoned]
+            + [f.request.request_id for f in report.failed]
+        )
+        assert outcome_ids == sorted(r.request_id for r in trace)
+        # Attempt accounting: each record's attempts-1 kills were requeued,
+        # except requests that abandoned mid-retry (retries may exceed the
+        # recoverable sum, never undercut it).
+        recoverable = sum(c.attempts - 1 for c in report.completed) + sum(
+            f.attempts - 1 for f in report.failed
+        )
+        assert report.num_retries >= recoverable
+        assert all(c.attempts >= 1 for c in report.completed)
+        assert all(f.attempts >= 1 for f in report.failed)
+
+    def test_no_dispatch_lands_on_a_down_unit(self, seed):
+        trace, server = random_fault_scenario(seed)
+        report = server.serve(trace)
+        for completed in report.completed:
+            for window_start, window_end in report.unit_downtime.get(
+                completed.cluster_id, ()
+            ):
+                # A completed record's service interval never strictly
+                # overlaps its own unit's downtime: work caught by an outage
+                # is killed, not completed.
+                assert (
+                    completed.finish_time_s <= window_start
+                    or completed.start_time_s >= window_end
+                )
+
+    def test_availability_matches_recompute_oracle(self, seed):
+        trace, server = random_fault_scenario(seed)
+        report = server.serve(trace)
+        if report.makespan_s <= 0:
+            assert report.availability == 1.0
+            return
+        window_start = report.first_arrival_s
+        window_end = window_start + report.makespan_s
+        clipped = {}
+        for unit_id in report.unit_appliance:
+            total = 0.0
+            for start, end in report.unit_downtime.get(unit_id, ()):
+                total += max(
+                    0.0, min(end, window_end) - max(start, window_start)
+                )
+            clipped[unit_id] = total
+        assert report.downtime_by_unit() == pytest.approx(clipped)
+        expected = 1.0 - sum(clipped.values()) / (
+            report.makespan_s * report.num_clusters
+        )
+        assert report.availability == pytest.approx(expected)
+        by_appliance = report.availability_by_appliance()
+        assert set(by_appliance) == set(report.appliance_clusters)
+        for value in by_appliance.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_fault_schedule_is_bit_identical(self, seed):
+        trace, server, _ = random_scenario(seed)
+        baseline = server.serve(trace)
+        trace2, server2, _ = random_scenario(seed)
+        server2.faults = FaultSchedule()
+        shadowed = server2.serve(trace2)
+        # Whole-report equality: an empty schedule compiles to zero events,
+        # so the fault-aware loop must be bit-identical to the plain one.
+        assert shadowed == baseline
