@@ -3,10 +3,13 @@
 
 Times greedy generation (tokens/sec) for the two decode engines the repo
 cares about — the DFX functional simulator and the reference GPT-2 model —
-at several generation lengths, and writes the results to
-``BENCH_hotpath.json`` at the repo root.  That file is the committed perf
+at several generation lengths, and writes the results to a per-config file
+at the repo root (``BENCH_hotpath.json`` for the tiny config,
+``BENCH_hotpath_small.json`` for small).  That file is the committed perf
 baseline: ``--check`` re-measures and fails (exit 1) when any engine regresses
 by more than the tolerance (default 30%), which CI can run as a smoke gate.
+Generation lengths also default per config — the small model's longer
+context window defaults to longer decodes (64/128/240 tokens).
 
 ``--check-ratio`` is the hardware-independent companion gate: instead of the
 machine-specific absolute tokens/sec floor, it compares the *ratio* of
@@ -50,8 +53,20 @@ from repro.model.numerics import FP16_DFX  # noqa: E402
 from repro.model.weights import generate_weights  # noqa: E402
 
 SCHEMA_VERSION = 1
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
 CONFIGS = {"tiny": GPT2_TEST_TINY, "small": GPT2_TEST_SMALL}
+#: Each config gets its own committed baseline file so benching one never
+#: clobbers the other's CI reference numbers.
+DEFAULT_OUTPUTS = {
+    "tiny": REPO_ROOT / "BENCH_hotpath.json",
+    "small": REPO_ROOT / "BENCH_hotpath_small.json",
+}
+#: Default generation lengths per config: the small model's 256-position
+#: window admits much longer decodes (prompt 4 + tokens + 2 must fit), and
+#: longer generations are where KV-cache growth actually shows up.
+DEFAULT_TOKENS = {
+    "tiny": [16, 32, 64],
+    "small": [64, 128, 240],
+}
 PROMPT = [5, 111, 42, 7]
 #: The engines the committed baseline tracks (and the default bench set).
 DEFAULT_ENGINES = ("functional-sim", "reference-model")
@@ -300,7 +315,9 @@ def main(argv: list[str] | None = None) -> int:
         return parsed
 
     parser.add_argument("--config", choices=sorted(CONFIGS), default="tiny")
-    parser.add_argument("--tokens", type=positive, nargs="+", default=[16, 32, 64])
+    parser.add_argument("--tokens", type=positive, nargs="+", default=None,
+                        help="generation lengths; default depends on --config "
+                             f"({', '.join(f'{k}: {v}' for k, v in DEFAULT_TOKENS.items())})")
     parser.add_argument("--repeats", type=positive, default=3)
     parser.add_argument("--engines", nargs="+", default=list(DEFAULT_ENGINES),
                         metavar="ENGINE",
@@ -310,8 +327,10 @@ def main(argv: list[str] | None = None) -> int:
                              "generation path (e.g. dfx-sim)")
     parser.add_argument("--num-devices", type=int, default=4,
                         help="cluster size (default 4, the paper's primary setup)")
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help="where to write the benchmark JSON")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the benchmark JSON (default: the "
+                             "per-config committed baseline, e.g. "
+                             "BENCH_hotpath.json for tiny)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed pre-optimization numbers from this JSON")
     parser.add_argument("--check", action="store_true",
@@ -329,16 +348,22 @@ def main(argv: list[str] | None = None) -> int:
                              "reference ratio in --check-ratio mode")
     args = parser.parse_args(argv)
 
+    committed_default = DEFAULT_OUTPUTS[args.config]
+    if args.tokens is None:
+        args.tokens = DEFAULT_TOKENS[args.config]
+    if args.output is None:
+        args.output = committed_default
+
     if (
         not (args.check or args.check_ratio)
         and set(args.engines) != set(DEFAULT_ENGINES)
-        and args.output.resolve() == DEFAULT_OUTPUT.resolve()
+        and args.output.resolve() in {p.resolve() for p in DEFAULT_OUTPUTS.values()}
     ):
-        # The default output IS the committed baseline the CI gates compare
+        # The default outputs ARE the committed baselines the CI gates compare
         # against; a report missing the default engines would break --check
         # for everyone.  Checked before measuring so no work is wasted.
         print(f"ERROR: refusing to overwrite the committed baseline "
-              f"{DEFAULT_OUTPUT.name} with a non-default engine set "
+              f"{args.output.name} with a non-default engine set "
               f"{args.engines}; pass --output elsewhere")
         return 1
 

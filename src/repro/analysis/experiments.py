@@ -412,6 +412,7 @@ def run_scheduler_comparison(
     platform_name: str | None = None,
     config: GPT2Config = GPT2_1_5B,
     num_devices: int | None = None,
+    retain_records: bool = True,
 ) -> SchedulerComparisonResult:
     """Serve one trace under each policy on one appliance (default: DFX 4U host).
 
@@ -421,6 +422,8 @@ def run_scheduler_comparison(
     (``None`` keeps the backend factory's own device default).  Pass
     ``trace`` directly to study classed traffic (priorities / SLOs /
     patience); otherwise a Poisson trace over ``mix`` is generated.
+    ``retain_records=False`` streams every policy's report (flat memory on
+    long traces).
     """
     if platform is None:
         platform = _serving_backend("dfx", config, num_devices)
@@ -430,12 +433,17 @@ def run_scheduler_comparison(
         platform = _serving_backend(platform, config, num_devices)
     if trace is None:
         trace = poisson_trace(arrival_rate_per_s, duration_s, mix, seed=seed)
+    elif not hasattr(trace, "__len__"):
+        # The identical trace is served once per policy, so a lazy trace
+        # must be materialized here (it would be exhausted by the first).
+        trace = list(trace)
     reports = {
         policy: ApplianceServer(
             platform,
             num_clusters=num_clusters,
             platform_name=platform_name,
             scheduler=policy,
+            retain_records=retain_records,
         ).serve(trace)
         for policy in policies
     }
@@ -467,6 +475,7 @@ def run_serving_capacity(
     trace_duration_s: float = 240.0,
     seed: int = 5,
     scheduler: str = "fifo",
+    retain_records: bool = True,
 ) -> ServingCapacityResult:
     """How much offered load each appliance configuration sustains under an SLO.
 
@@ -476,6 +485,11 @@ def run_serving_capacity(
     operator actually provisions by.  Both appliances come from the
     backend registry, so the whole study runs through the unified
     :class:`~repro.backends.base.Backend` protocol.
+
+    The search reads only each probed report's tail percentile and
+    abandonment rate, so ``retain_records=False`` keeps every probe's
+    memory flat (percentiles then come from quantile sketches, within
+    their rank-error bound of the exact search).
     """
     dfx = make_backend("dfx", config=config, devices=num_devices)
     gpu = make_backend("gpu", config=config, devices=num_devices)
@@ -487,14 +501,17 @@ def run_serving_capacity(
         "gpu-x1": find_max_rate_under_slo(
             gpu, trace_builder, slo_s, percentile=percentile,
             num_clusters=1, platform_name="gpu", scheduler=scheduler,
+            retain_records=retain_records,
         ),
         "dfx-x1": find_max_rate_under_slo(
             dfx, trace_builder, slo_s, percentile=percentile,
             num_clusters=1, platform_name="dfx", scheduler=scheduler,
+            retain_records=retain_records,
         ),
         "dfx-x2": find_max_rate_under_slo(
             dfx, trace_builder, slo_s, percentile=percentile,
             num_clusters=2, platform_name="dfx-x2", scheduler=scheduler,
+            retain_records=retain_records,
         ),
         "dfx-x2+gpu": fleet_capacity_plan(
             ApplianceFleet(
@@ -503,6 +520,7 @@ def run_serving_capacity(
                     FleetMember("gpu", gpu, num_clusters=1),
                 ],
                 scheduler=scheduler,
+                retain_records=retain_records,
             ),
             trace_builder,
             slo_s,
@@ -638,6 +656,7 @@ def run_fault_campaign(
     platform_name: str | None = None,
     config: GPT2Config = GPT2_1_5B,
     num_devices: int | None = None,
+    retain_records: bool = True,
 ) -> FaultCampaignResult:
     """Compare schedulers' failover quality across seeded fault campaigns.
 
@@ -686,6 +705,7 @@ def run_fault_campaign(
                 faults=faults,
                 retry_policy=retry_policy,
                 degraded_mode=degraded_mode,
+                retain_records=retain_records,
             )
             by_seed[seed] = server.serve(trace)
         reports[policy] = by_seed

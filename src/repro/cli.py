@@ -12,13 +12,17 @@ Three subcommands cover the common entry points without writing any Python:
     ``figure15``, ``table2``, ...) and print its summary.
 
 ``serve``
-    Replay a request trace — synthetic Poisson over a workload mix, or a
-    recorded CSV/JSONL log via ``--trace`` — against any registered backend
-    (``dfx``, ``dfx-4u``, ``gpu``, ``tpu``, ``dfx-sim``) and print the
-    serving report: tail latencies, throughput, utilization, abandonment,
-    batch statistics.  ``--mtbf-s``/``--mttr-s`` inject a seeded Poisson
-    fault process, with ``--retry-max`` attempts per killed request, and the
-    report grows availability, goodput, and failover columns.
+    Replay a request trace — synthetic Poisson / bursty / diurnal arrivals
+    over a workload mix (``--arrivals``), or a recorded CSV/JSONL log via
+    ``--trace`` — against any registered backend (``dfx``, ``dfx-4u``,
+    ``gpu``, ``tpu``, ``dfx-sim``) and print the serving report: tail
+    latencies, throughput, utilization, abandonment, batch statistics.
+    ``--mtbf-s``/``--mttr-s`` inject a seeded Poisson fault process, with
+    ``--retry-max`` attempts per killed request, and the report grows
+    availability, goodput, and failover columns.  ``--streaming`` generates
+    the synthetic trace lazily and accounts the report online (quantile
+    sketches instead of retained records), so million-request traces
+    (``--limit``) run in flat memory.
 
 Examples::
 
@@ -28,6 +32,8 @@ Examples::
     python -m repro.cli serve --backend dfx --clusters 2 --rate 1.5 --duration 120
     python -m repro.cli serve --backend gpu --batch-policy dynamic --trace requests.csv
     python -m repro.cli serve --backend dfx-4u --rate 1.0 --mtbf-s 40 --mttr-s 15
+    python -m repro.cli serve --arrivals diurnal --rate 40 --duration 1e9 \
+        --limit 1000000 --streaming --clusters 8
 """
 
 from __future__ import annotations
@@ -52,6 +58,8 @@ from repro.serving import (
     FaultSchedule,
     RetryPolicy,
     ServingReport,
+    bursty_trace,
+    diurnal_trace,
     poisson_trace,
     replay_trace,
 )
@@ -139,11 +147,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--trace", metavar="PATH", default=None,
                               help="replay a recorded CSV/JSONL request log "
                                    "instead of generating a Poisson trace")
+    serve_parser.add_argument("--arrivals", default="poisson",
+                              choices=("poisson", "bursty", "diurnal"),
+                              help="synthetic arrival process (default: "
+                                   "poisson); bursty alternates rate-"
+                                   "vs-silent phases, diurnal cycles the "
+                                   "rate over --period-s")
     serve_parser.add_argument("--rate", type=float, default=1.0,
-                              help="Poisson arrival rate in req/s (default: 1.0)")
+                              help="arrival rate in req/s: the Poisson "
+                                   "mean, the bursty in-burst rate, or the "
+                                   "diurnal peak (default: 1.0)")
     serve_parser.add_argument("--duration", type=float, default=60.0,
                               help="synthetic trace length in seconds "
                                    "(default: 60)")
+    serve_parser.add_argument("--period-s", type=float, default=86_400.0,
+                              help="diurnal cycle length in seconds "
+                                   "(default: 86400 = one day)")
+    serve_parser.add_argument("--limit", type=int, default=None,
+                              help="cap the synthetic trace at this many "
+                                   "requests (default: whatever fits the "
+                                   "duration)")
+    serve_parser.add_argument("--streaming", action="store_true",
+                              help="generate the synthetic trace lazily and "
+                                   "account the report online (flat memory "
+                                   "on long traces; percentiles from "
+                                   "quantile sketches)")
     serve_parser.add_argument("--mix", default=CHATBOT_MIX.name,
                               choices=sorted(SERVE_MIXES),
                               help="workload mix for synthetic traces")
@@ -218,9 +246,7 @@ def _print_serving_report(report: ServingReport, *, faults: bool = False) -> Non
     if report.batch_policy != "none":
         rows.append(["mean batch size", report.mean_batch_size])
         rows.append(["mean gather delay (s)", report.mean_batch_gather_delay_s])
-    if any(c.request.slo_s is not None for c in report.completed) or any(
-        a.request.slo_s is not None for a in report.abandoned
-    ):
+    if report.has_slo_requests:
         rows.append(["SLO attainment", report.slo_attainment])
     if faults or report.num_failed or report.num_retries or report.unit_downtime:
         rows.append(["availability", report.availability])
@@ -243,11 +269,26 @@ def _command_serve(args: argparse.Namespace) -> int:
         trace = replay_trace(args.trace)
         source = args.trace
     else:
-        trace = poisson_trace(
-            args.rate, args.duration, SERVE_MIXES[args.mix], seed=args.seed
-        )
-        source = (f"poisson(rate={args.rate}/s, duration={args.duration}s, "
-                  f"mix={args.mix}, seed={args.seed})")
+        mix = SERVE_MIXES[args.mix]
+        builders = {
+            "poisson": lambda: poisson_trace(
+                args.rate, args.duration, mix, seed=args.seed,
+                limit=args.limit, lazy=args.streaming,
+            ),
+            "bursty": lambda: bursty_trace(
+                args.rate, 0.0, args.duration, mix=mix, seed=args.seed,
+                limit=args.limit, lazy=args.streaming,
+            ),
+            "diurnal": lambda: diurnal_trace(
+                args.rate, args.duration, period_s=args.period_s, mix=mix,
+                seed=args.seed, limit=args.limit, lazy=args.streaming,
+            ),
+        }
+        trace = builders[args.arrivals]()
+        cap = f", limit={args.limit}" if args.limit is not None else ""
+        source = (f"{args.arrivals}(rate={args.rate}/s, "
+                  f"duration={args.duration}s, mix={args.mix}, "
+                  f"seed={args.seed}{cap})")
     if args.slo_s is not None or args.patience_s is not None:
         # Override only the fields the user passed — a replayed log's own
         # priorities, service classes, and the other service levels stay.
@@ -256,8 +297,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             overrides["slo_s"] = args.slo_s
         if args.patience_s is not None:
             overrides["patience_s"] = args.patience_s
-        trace = [dataclasses.replace(request, **overrides) for request in trace]
-    print(f"serving {len(trace)} requests from {source}")
+        tagged = (dataclasses.replace(request, **overrides) for request in trace)
+        trace = list(tagged) if hasattr(trace, "__len__") else tagged
+    if hasattr(trace, "__len__"):
+        print(f"serving {len(trace)} requests from {source}")
+    else:
+        print(f"serving a streamed trace from {source}")
 
     faults = None
     retry_policy = None
@@ -287,6 +332,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         faults=faults,
         retry_policy=retry_policy,
+        retain_records=not args.streaming,
     )
     _print_serving_report(server.serve(trace), faults=faults is not None)
     return 0

@@ -29,7 +29,6 @@ from repro.serving.batching import (
     BatchFormationPolicy,
     make_batch_policy,
 )
-from repro.serving.requests import ServiceRequest
 from repro.serving.schedulers import SchedulingPolicy, make_scheduler
 from repro.serving.server import LatencyOracle, PlatformModel, ServingReport
 from repro.serving.simulator import ServerUnit, simulate
@@ -76,6 +75,7 @@ class ApplianceFleet:
         faults=None,
         retry_policy=None,
         degraded_mode=None,
+        retain_records: bool = True,
     ) -> None:
         if not members:
             raise ConfigurationError("a fleet needs at least one member")
@@ -89,6 +89,9 @@ class ApplianceFleet:
         self.faults = faults
         self.retry_policy = retry_policy
         self.degraded_mode = degraded_mode
+        # False streams fleet reports through a ReportAccumulator (flat
+        # memory on long traces), exactly like ApplianceServer.
+        self.retain_records = retain_records
         # Each member's platform spec (backend, name, or legacy model) is
         # resolved once at fleet build time.
         self._backends = {
@@ -162,8 +165,8 @@ class ApplianceFleet:
                 )
         return units
 
-    def serve(self, trace: list[ServiceRequest]) -> ServingReport:
-        """Replay a trace across the whole fleet under the chosen policy."""
+    def serve(self, trace) -> ServingReport:
+        """Replay a trace (list or lazy iterable) across the whole fleet."""
         return simulate(
             self._units(),
             trace,
@@ -173,4 +176,5 @@ class ApplianceFleet:
             faults=self.faults,
             retry_policy=self.retry_policy,
             degraded_mode=self.degraded_mode,
+            retain_records=self.retain_records,
         )

@@ -8,6 +8,11 @@ arrivals over a mix of workload shapes — that the serving simulator
 (`repro.serving.simulator`) replays against an appliance model, and replays
 recorded request logs (CSV / JSONL) through :func:`replay_trace`.
 
+Every synthetic builder has a lazy form (``lazy=True``) yielding the same
+seeded request sequence as a generator, plus a ``limit`` cap on the request
+count; the simulator consumes lazy traces with a one-arrival lookahead, so
+million-request experiments never materialize their trace.
+
 Requests carry optional service-level attributes consumed by the scheduling
 policies in `repro.serving.schedulers`:
 
@@ -27,8 +32,10 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import heapq
 import json
 import math
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -155,12 +162,20 @@ DATACENTER_MIX = WorkloadMix(
 )
 
 
+def _check_limit(limit: int | None) -> None:
+    if limit is not None and limit <= 0:
+        raise ConfigurationError("limit must be positive when given")
+
+
 def poisson_trace(
     arrival_rate_per_s: float,
     duration_s: float,
     mix: WorkloadMix = CHATBOT_MIX,
     seed: int = 0,
-) -> list[ServiceRequest]:
+    *,
+    limit: int | None = None,
+    lazy: bool = False,
+) -> list[ServiceRequest] | Iterator[ServiceRequest]:
     """Generate a Poisson-arrival request trace.
 
     Args:
@@ -168,6 +183,11 @@ def poisson_trace(
         duration_s: Length of the trace window in seconds.
         mix: Distribution of request shapes.
         seed: RNG seed (traces are deterministic given the seed).
+        limit: Stop after this many requests even if the window has room.
+        lazy: Return a generator instead of a list.  The generator draws
+            the identical RNG sequence, so ``list(poisson_trace(...,
+            lazy=True))`` equals the eager trace request for request; the
+            streaming simulator consumes it without ever materializing it.
 
     Returns:
         Requests sorted by arrival time, all arriving within ``duration_s``.
@@ -176,23 +196,24 @@ def poisson_trace(
         raise ConfigurationError("arrival_rate_per_s must be positive")
     if duration_s <= 0:
         raise ConfigurationError("duration_s must be positive")
-    rng = np.random.default_rng(seed)
-    requests: list[ServiceRequest] = []
-    time_s = 0.0
-    request_id = 0
-    while True:
-        time_s += float(rng.exponential(1.0 / arrival_rate_per_s))
-        if time_s >= duration_s:
-            break
-        requests.append(
-            ServiceRequest(
+    _check_limit(limit)
+
+    def generate() -> Iterator[ServiceRequest]:
+        rng = np.random.default_rng(seed)
+        time_s = 0.0
+        request_id = 0
+        while limit is None or request_id < limit:
+            time_s += float(rng.exponential(1.0 / arrival_rate_per_s))
+            if time_s >= duration_s:
+                return
+            yield ServiceRequest(
                 request_id=request_id,
                 arrival_time_s=time_s,
                 workload=mix.sample(rng),
             )
-        )
-        request_id += 1
-    return requests
+            request_id += 1
+
+    return generate() if lazy else list(generate())
 
 
 def constant_trace(
@@ -200,22 +221,30 @@ def constant_trace(
     num_requests: int,
     workload: Workload = CHATBOT_WORKLOAD,
     start_time_s: float = 0.0,
-) -> list[ServiceRequest]:
-    """Generate an evenly spaced trace of identical requests (for tests)."""
+    *,
+    lazy: bool = False,
+) -> list[ServiceRequest] | Iterator[ServiceRequest]:
+    """Generate an evenly spaced trace of identical requests (for tests).
+
+    ``lazy=True`` returns a generator of the same requests instead of a
+    list (``num_requests`` already bounds the trace, so there is no
+    separate ``limit``).
+    """
     if interarrival_s < 0:
         raise ConfigurationError("interarrival_s must be non-negative")
     if num_requests <= 0:
         raise ConfigurationError("num_requests must be positive")
     if start_time_s < 0:
         raise ConfigurationError("start_time_s must be non-negative")
-    return [
+    requests = (
         ServiceRequest(
             request_id=i,
             arrival_time_s=start_time_s + i * interarrival_s,
             workload=workload,
         )
         for i in range(num_requests)
-    ]
+    )
+    return requests if lazy else list(requests)
 
 
 def bursty_trace(
@@ -228,7 +257,9 @@ def bursty_trace(
     mix: WorkloadMix = CHATBOT_MIX,
     seed: int = 0,
     start_in_burst: bool = True,
-) -> list[ServiceRequest]:
+    limit: int | None = None,
+    lazy: bool = False,
+) -> list[ServiceRequest] | Iterator[ServiceRequest]:
     """Generate an on-off (Markov-modulated Poisson) bursty request trace.
 
     The process alternates between *burst* phases (Poisson arrivals at
@@ -248,6 +279,8 @@ def bursty_trace(
         mix: Distribution of request shapes.
         seed: RNG seed (traces are deterministic given the seed).
         start_in_burst: Whether the first phase is a burst.
+        limit: Stop after this many requests even if the window has room.
+        lazy: Return a generator drawing the identical RNG sequence.
 
     Returns:
         Requests sorted by arrival time, all arriving within ``duration_s``;
@@ -266,30 +299,37 @@ def bursty_trace(
         raise ConfigurationError("duration_s must be positive")
     if mean_burst_s <= 0 or mean_idle_s <= 0:
         raise ConfigurationError("phase lengths must be positive")
-    rng = np.random.default_rng(seed)
-    requests: list[ServiceRequest] = []
-    phase_start = 0.0
-    in_burst = start_in_burst
-    while phase_start < duration_s:
-        mean_phase = mean_burst_s if in_burst else mean_idle_s
-        phase_end = min(phase_start + float(rng.exponential(mean_phase)), duration_s)
-        rate = burst_rate_per_s if in_burst else idle_rate_per_s
-        if rate > 0:
-            time_s = phase_start
-            while True:
-                time_s += float(rng.exponential(1.0 / rate))
-                if time_s >= phase_end:
-                    break
-                requests.append(
-                    ServiceRequest(
-                        request_id=len(requests),
+    _check_limit(limit)
+
+    def generate() -> Iterator[ServiceRequest]:
+        rng = np.random.default_rng(seed)
+        request_id = 0
+        phase_start = 0.0
+        in_burst = start_in_burst
+        while phase_start < duration_s:
+            mean_phase = mean_burst_s if in_burst else mean_idle_s
+            phase_end = min(
+                phase_start + float(rng.exponential(mean_phase)), duration_s
+            )
+            rate = burst_rate_per_s if in_burst else idle_rate_per_s
+            if rate > 0:
+                time_s = phase_start
+                while True:
+                    time_s += float(rng.exponential(1.0 / rate))
+                    if time_s >= phase_end:
+                        break
+                    yield ServiceRequest(
+                        request_id=request_id,
                         arrival_time_s=time_s,
                         workload=mix.sample(rng),
                     )
-                )
-        phase_start = phase_end
-        in_burst = not in_burst
-    return requests
+                    request_id += 1
+                    if limit is not None and request_id >= limit:
+                        return
+            phase_start = phase_end
+            in_burst = not in_burst
+
+    return generate() if lazy else list(generate())
 
 
 def diurnal_trace(
@@ -301,7 +341,9 @@ def diurnal_trace(
     phase_s: float = 0.0,
     mix: WorkloadMix = CHATBOT_MIX,
     seed: int = 0,
-) -> list[ServiceRequest]:
+    limit: int | None = None,
+    lazy: bool = False,
+) -> list[ServiceRequest] | Iterator[ServiceRequest]:
     """Generate a diurnal (time-varying-rate) Poisson request trace.
 
     The arrival rate follows a sinusoidal day/night cycle between
@@ -323,6 +365,8 @@ def diurnal_trace(
         phase_s: Time offset into the cycle at trace start.
         mix: Distribution of request shapes.
         seed: RNG seed (traces are deterministic given the seed).
+        limit: Stop after this many requests even if the window has room.
+        lazy: Return a generator drawing the identical RNG sequence.
 
     Returns:
         Requests sorted by arrival time, all arriving within ``duration_s``;
@@ -343,28 +387,30 @@ def diurnal_trace(
         raise ConfigurationError("duration_s must be positive")
     if period_s <= 0:
         raise ConfigurationError("period_s must be positive")
+    _check_limit(limit)
 
     def rate_at(time_s: float) -> float:
         # Raised cosine: trough at cycle start, peak at mid-period.
         swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * (time_s + phase_s) / period_s))
         return trough_rate_per_s + (peak_rate_per_s - trough_rate_per_s) * swing
 
-    rng = np.random.default_rng(seed)
-    requests: list[ServiceRequest] = []
-    time_s = 0.0
-    while True:
-        time_s += float(rng.exponential(1.0 / peak_rate_per_s))
-        if time_s >= duration_s:
-            break
-        if rng.random() < rate_at(time_s) / peak_rate_per_s:
-            requests.append(
-                ServiceRequest(
-                    request_id=len(requests),
+    def generate() -> Iterator[ServiceRequest]:
+        rng = np.random.default_rng(seed)
+        request_id = 0
+        time_s = 0.0
+        while limit is None or request_id < limit:
+            time_s += float(rng.exponential(1.0 / peak_rate_per_s))
+            if time_s >= duration_s:
+                return
+            if rng.random() < rate_at(time_s) / peak_rate_per_s:
+                yield ServiceRequest(
+                    request_id=request_id,
                     arrival_time_s=time_s,
                     workload=mix.sample(rng),
                 )
-            )
-    return requests
+                request_id += 1
+
+    return generate() if lazy else list(generate())
 
 
 #: Request-log fields ``replay_trace`` understands (besides the required
@@ -505,19 +551,21 @@ def replay_trace(path: str | Path, format: str = "auto") -> list[ServiceRequest]
 
 
 def with_service_levels(
-    trace: list[ServiceRequest],
+    trace: Iterable[ServiceRequest],
     *,
     priority: int = 0,
     slo_s: float | None = None,
     patience_s: float | None = None,
     service_class: str = DEFAULT_SERVICE_CLASS,
-) -> list[ServiceRequest]:
+) -> list[ServiceRequest] | Iterator[ServiceRequest]:
     """Tag every request of a trace with one service class.
 
     Returns new requests (``ServiceRequest`` is frozen); arrival times and
-    workloads are untouched, so the offered load is identical.
+    workloads are untouched, so the offered load is identical.  A sized
+    trace (list/tuple) maps to a list; a lazy trace maps to a lazy trace,
+    so tagging never materializes a streamed trace.
     """
-    return [
+    tagged = (
         dataclasses.replace(
             request,
             priority=priority,
@@ -526,20 +574,38 @@ def with_service_levels(
             service_class=service_class,
         )
         for request in trace
-    ]
+    )
+    return list(tagged) if hasattr(trace, "__len__") else tagged
 
 
-def merge_traces(*traces: list[ServiceRequest]) -> list[ServiceRequest]:
+def merge_traces(
+    *traces: Iterable[ServiceRequest],
+) -> list[ServiceRequest] | Iterator[ServiceRequest]:
     """Interleave several traces into one, sorted by arrival time.
 
     Request ids are reassigned (in arrival order) so the merged trace has
     unique ids even when the inputs were generated independently.
+
+    Sized inputs (lists/tuples) merge into a list by a full sort, exactly
+    as always.  If *any* input is lazy, the merge is lazy too: every input
+    must then already be sorted by arrival time (true of every trace
+    builder here) and the streams are interleaved with ``heapq.merge``, so
+    arbitrarily long traces merge in constant memory.  Ties on arrival
+    time resolve in argument order either way.
     """
-    merged = sorted(
-        (request for trace in traces for request in trace),
-        key=lambda request: request.arrival_time_s,
+    if all(hasattr(trace, "__len__") for trace in traces):
+        merged = sorted(
+            (request for trace in traces for request in trace),
+            key=lambda request: request.arrival_time_s,
+        )
+        return [
+            dataclasses.replace(request, request_id=index)
+            for index, request in enumerate(merged)
+        ]
+    interleaved = heapq.merge(
+        *traces, key=lambda request: request.arrival_time_s
     )
-    return [
+    return (
         dataclasses.replace(request, request_id=index)
-        for index, request in enumerate(merged)
-    ]
+        for index, request in enumerate(interleaved)
+    )

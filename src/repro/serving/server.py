@@ -39,6 +39,7 @@ from repro.errors import ConfigurationError
 from repro.results import InferenceResult
 from repro.serving.batching import BackendBatchCostModel, make_batch_policy
 from repro.serving.requests import ServiceRequest
+from repro.serving.stats import DEFAULT_EPS, QuantileSketch, merge_distribution
 from repro.workloads import Workload
 
 #: Abandonment reason: the request's patience ran out while queued.
@@ -168,6 +169,116 @@ class FailedRequest:
 
 
 @dataclass
+class ReportAccumulator:
+    """Online report accounting for streaming-mode simulations.
+
+    In streaming mode (``retain_records=False``) the simulator seals each
+    outcome record into this accumulator instead of appending it to the
+    report's lists, so memory stays flat in the trace length: running
+    counters cover conservation, utilization, SLO attainment, goodput, and
+    the per-class/per-appliance breakdowns, and
+    :class:`~repro.serving.stats.QuantileSketch` es answer the
+    response/queueing/gather/failover percentile queries within a hard
+    ``eps``-rank-error bound (``eps * count`` ranks; 0.5% by default).
+    Everything here is deterministic, so seeded runs reproduce their
+    streaming reports exactly.
+
+    The sealing interface (``seal_dispatch`` / ``seal_abandoned`` /
+    ``seal_failed`` / ``seal_failover``) mirrors the simulator's retained
+    record sink; :class:`ServingReport` reads the accumulated state through
+    its usual properties when its ``stats`` field holds one of these.
+    """
+
+    eps: float = DEFAULT_EPS
+    num_completed: int = 0
+    num_abandoned: int = 0
+    num_failed: int = 0
+    #: Generated tokens over all completed requests.
+    output_tokens: int = 0
+    #: Busy time with each dispatched batch counted once (utilization).
+    busy_time_s: float = 0.0
+    num_batches: int = 0
+    batch_size_total: int = 0
+    #: SLO-carrying requests offered / completed late / lost unserved.
+    slo_offered: int = 0
+    slo_late: int = 0
+    slo_lost: int = 0
+    #: Latest completion instant (the busy window's right edge).
+    last_finish_s: float = float("-inf")
+    response: QuantileSketch = field(init=False)
+    queueing: QuantileSketch = field(init=False)
+    gather: QuantileSketch = field(init=False)
+    failover: QuantileSketch = field(init=False)
+    response_by_class: dict[str, QuantileSketch] = field(
+        init=False, default_factory=dict
+    )
+    #: Service-class labels seen on any outcome (completed/abandoned/failed).
+    class_labels: set[str] = field(init=False, default_factory=set)
+    busy_by_appliance: dict[str, float] = field(init=False, default_factory=dict)
+    batch_sizes: dict[int, int] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.response = QuantileSketch(self.eps)
+        self.queueing = QuantileSketch(self.eps)
+        self.gather = QuantileSketch(self.eps)
+        self.failover = QuantileSketch(self.eps)
+
+    # ------------------------------------------------------- sealing interface
+    def seal_dispatch(self, records: list[CompletedRequest]) -> None:
+        """Account one completed dispatch (its records seal together)."""
+        representative = records[0]
+        self.num_batches += 1
+        self.batch_size_total += representative.batch_size
+        merge_distribution(self.batch_sizes, representative.batch_size)
+        service_time = representative.service_time_s
+        self.busy_time_s += service_time
+        appliance = representative.appliance
+        self.busy_by_appliance[appliance] = (
+            self.busy_by_appliance.get(appliance, 0.0) + service_time
+        )
+        if len(records) == 1:
+            oldest_arrival = representative.request.arrival_time_s
+        else:
+            oldest_arrival = min(r.request.arrival_time_s for r in records)
+        self.gather.add(representative.start_time_s - oldest_arrival)
+        for record in records:
+            self.num_completed += 1
+            self.output_tokens += record.request.workload.output_tokens
+            response_time = record.response_time_s
+            self.response.add(response_time)
+            self.queueing.add(record.queueing_delay_s)
+            label = record.request.service_class
+            self.class_labels.add(label)
+            sketch = self.response_by_class.get(label)
+            if sketch is None:
+                sketch = self.response_by_class[label] = QuantileSketch(self.eps)
+            sketch.add(response_time)
+            if record.request.slo_s is not None:
+                self.slo_offered += 1
+                if not record.slo_met:
+                    self.slo_late += 1
+            if record.finish_time_s > self.last_finish_s:
+                self.last_finish_s = record.finish_time_s
+
+    def seal_abandoned(self, abandoned: AbandonedRequest) -> None:
+        self.num_abandoned += 1
+        self.class_labels.add(abandoned.request.service_class)
+        if abandoned.request.slo_s is not None:
+            self.slo_offered += 1
+            self.slo_lost += 1
+
+    def seal_failed(self, failed: FailedRequest) -> None:
+        self.num_failed += 1
+        self.class_labels.add(failed.request.service_class)
+        if failed.request.slo_s is not None:
+            self.slo_offered += 1
+            self.slo_lost += 1
+
+    def seal_failover(self, delay_s: float) -> None:
+        self.failover.add(delay_s)
+
+
+@dataclass
 class ServingReport:
     """Aggregate statistics of one serving simulation.
 
@@ -201,6 +312,11 @@ class ServingReport:
     )
     #: Appliance name of each unit id (for per-appliance availability).
     unit_appliance: dict[int, str] = field(default_factory=dict)
+    #: Streaming-mode accounting: ``None`` in retained mode (the default),
+    #: a :class:`ReportAccumulator` when the run sealed records online
+    #: (``retain_records=False``) — ``completed``/``abandoned``/``failed``
+    #: stay empty then and every statistic below reads the accumulator.
+    stats: ReportAccumulator | None = None
     # Lazily-built statistic arrays, keyed on (list object, length) so both
     # appends and wholesale list replacement invalidate them (the cache holds
     # the list reference and compares with ``is``, so a freed list's id can
@@ -216,6 +332,21 @@ class ServingReport:
     _batch_cache: tuple[list, int, tuple[np.ndarray, np.ndarray]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Sorted-once percentile arrays (global, per-class, queueing, failover):
+    # every percentile accessor reads a pre-sorted array, so exact mode pays
+    # one sort per seal generation rather than one extraction per call.
+    _sorted_response_cache: tuple[list, int, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sorted_queueing_cache: tuple[list, int, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _class_response_cache: tuple[list, int, dict[str, np.ndarray]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _failover_cache: tuple[list, int, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ stats
     def invalidate_caches(self) -> None:
@@ -223,6 +354,10 @@ class ServingReport:
         self._response_cache = None
         self._queueing_cache = None
         self._batch_cache = None
+        self._sorted_response_cache = None
+        self._sorted_queueing_cache = None
+        self._class_response_cache = None
+        self._failover_cache = None
 
     def _cached_stat(self, cache_attr: str, extract) -> np.ndarray:
         """Per-completed-request statistic array, cached until ``completed``
@@ -253,22 +388,91 @@ class ServingReport:
         """Queueing delays of all completed requests (cached)."""
         return self._cached_stat("_queueing_cache", lambda c: c.queueing_delay_s)
 
+    def _sorted_response_times(self) -> np.ndarray:
+        """Sorted response times — one sort per seal generation.
+
+        Percentiles over a pre-sorted array select the same order statistics
+        as over the raw one, so the results are bit-identical; the means keep
+        reading the *unsorted* arrays because summation order matters there.
+        """
+        return self._cached_sorted(
+            "_sorted_response_cache", self._response_times
+        )
+
+    def _sorted_queueing_delays(self) -> np.ndarray:
+        return self._cached_sorted(
+            "_sorted_queueing_cache", self._queueing_delays
+        )
+
+    def _cached_sorted(self, cache_attr: str, source) -> np.ndarray:
+        cache = getattr(self, cache_attr)
+        if (
+            cache is None
+            or cache[0] is not self.completed
+            or cache[1] != len(self.completed)
+        ):
+            cache = (self.completed, len(self.completed), np.sort(source()))
+            setattr(self, cache_attr, cache)
+        return cache[2]
+
+    def _class_response_times(self) -> dict[str, np.ndarray]:
+        """Per-service-class sorted response times, built in one pass."""
+        cache = self._class_response_cache
+        if (
+            cache is None
+            or cache[0] is not self.completed
+            or cache[1] != len(self.completed)
+        ):
+            grouped: dict[str, list[float]] = {}
+            for completed in self.completed:
+                grouped.setdefault(
+                    completed.request.service_class, []
+                ).append(completed.response_time_s)
+            arrays = {
+                label: np.sort(np.asarray(values, dtype=np.float64))
+                for label, values in grouped.items()
+            }
+            cache = (self.completed, len(self.completed), arrays)
+            self._class_response_cache = cache
+        return cache[2]
+
+    def _sorted_failover_delays(self) -> np.ndarray:
+        cache = self._failover_cache
+        if (
+            cache is None
+            or cache[0] is not self.failover_delays_s
+            or cache[1] != len(self.failover_delays_s)
+        ):
+            cache = (
+                self.failover_delays_s,
+                len(self.failover_delays_s),
+                np.sort(np.asarray(self.failover_delays_s, dtype=np.float64)),
+            )
+            self._failover_cache = cache
+        return cache[2]
+
     @property
     def num_requests(self) -> int:
+        if self.stats is not None:
+            return self.stats.num_completed
         return len(self.completed)
 
     @property
     def num_abandoned(self) -> int:
+        if self.stats is not None:
+            return self.stats.num_abandoned
         return len(self.abandoned)
 
     @property
     def num_failed(self) -> int:
+        if self.stats is not None:
+            return self.stats.num_failed
         return len(self.failed)
 
     @property
     def num_offered(self) -> int:
         """Requests that entered the system (served, abandoned, or failed)."""
-        return len(self.completed) + len(self.abandoned) + len(self.failed)
+        return self.num_requests + self.num_abandoned + self.num_failed
 
     def response_time_percentile_s(
         self, percentile: float, service_class: str | None = None
@@ -276,23 +480,37 @@ class ServingReport:
         """Response-time percentile (e.g. 50, 95, 99) in seconds.
 
         With ``service_class`` the percentile is computed over that class's
-        completed requests only.
+        completed requests only.  Streaming reports answer from the quantile
+        sketch, within ``stats.response.rank_error_bound()`` ranks of exact.
         """
+        if self.stats is not None:
+            if service_class is None:
+                return self.stats.response.query(percentile)
+            sketch = self.stats.response_by_class.get(service_class)
+            return sketch.query(percentile) if sketch is not None else 0.0
         if service_class is None:
             if not self.completed:
                 return 0.0
-            return float(np.percentile(self._response_times(), percentile))
-        values = [
-            c.response_time_s
-            for c in self.completed
-            if c.request.service_class == service_class
-        ]
-        if not values:
+            return float(
+                np.percentile(self._sorted_response_times(), percentile)
+            )
+        values = self._class_response_times().get(service_class)
+        if values is None or values.size == 0:
             return 0.0
-        return float(np.percentile(np.asarray(values, dtype=np.float64), percentile))
+        return float(np.percentile(values, percentile))
+
+    def queueing_delay_percentile_s(self, percentile: float) -> float:
+        """Queueing-delay percentile over completed requests."""
+        if self.stats is not None:
+            return self.stats.queueing.query(percentile)
+        if not self.completed:
+            return 0.0
+        return float(np.percentile(self._sorted_queueing_delays(), percentile))
 
     def service_classes(self) -> list[str]:
         """Service-class labels present in the trace (any outcome)."""
+        if self.stats is not None:
+            return sorted(self.stats.class_labels)
         labels = {c.request.service_class for c in self.completed}
         labels.update(a.request.service_class for a in self.abandoned)
         labels.update(f.request.service_class for f in self.failed)
@@ -307,12 +525,16 @@ class ServingReport:
 
     @property
     def mean_response_time_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.response.mean
         if not self.completed:
             return 0.0
         return float(self._response_times().mean())
 
     @property
     def mean_queueing_delay_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.queueing.mean
         if not self.completed:
             return 0.0
         return float(self._queueing_delays().mean())
@@ -329,6 +551,8 @@ class ServingReport:
         """Sustained generated-token throughput over the busy window."""
         if self.makespan_s <= 0:
             return 0.0
+        if self.stats is not None:
+            return self.stats.output_tokens / self.makespan_s
         tokens = sum(c.request.workload.output_tokens for c in self.completed)
         return tokens / self.makespan_s
 
@@ -338,6 +562,8 @@ class ServingReport:
         Requests served together in one batch share their unit's busy
         interval, so busy-time accounting must count each batch once.
         Legacy records without a ``batch_id`` are their own dispatch.
+        Streaming reports keep no records — this yields nothing there (the
+        busy-time statistics read the accumulator's counters instead).
         """
         seen: set[int] = set()
         for completed in self.completed:
@@ -357,7 +583,10 @@ class ServingReport:
         """
         if self.makespan_s <= 0 or self.num_clusters == 0:
             return 0.0
-        busy = sum(d.service_time_s for d in self.iter_dispatches())
+        if self.stats is not None:
+            busy = self.stats.busy_time_s
+        else:
+            busy = sum(d.service_time_s for d in self.iter_dispatches())
         return busy / (self.makespan_s * self.num_clusters)
 
     def utilization_by_appliance(self) -> dict[str, float]:
@@ -366,9 +595,14 @@ class ServingReport:
         if self.makespan_s <= 0:
             return {name: 0.0 for name in clusters}
         busy: dict[str, float] = {name: 0.0 for name in clusters}
-        for dispatch in self.iter_dispatches():
-            name = dispatch.appliance or self.platform
-            busy[name] = busy.get(name, 0.0) + dispatch.service_time_s
+        if self.stats is not None:
+            for name, value in self.stats.busy_by_appliance.items():
+                key = name or self.platform
+                busy[key] = busy.get(key, 0.0) + value
+        else:
+            for dispatch in self.iter_dispatches():
+                name = dispatch.appliance or self.platform
+                busy[name] = busy.get(name, 0.0) + dispatch.service_time_s
         return {
             name: busy.get(name, 0.0) / (self.makespan_s * count)
             for name, count in clusters.items()
@@ -416,11 +650,17 @@ class ServingReport:
     @property
     def num_batches(self) -> int:
         """Dispatches performed (each gathered batch counts once)."""
+        if self.stats is not None:
+            return self.stats.num_batches
         return int(self._batch_stats()[0].size)
 
     @property
     def mean_batch_size(self) -> float:
         """Average recorded batch size over dispatches (1.0 when unbatched)."""
+        if self.stats is not None:
+            if self.stats.num_batches == 0:
+                return 0.0
+            return self.stats.batch_size_total / self.stats.num_batches
         sizes = self._batch_stats()[0]
         if sizes.size == 0:
             return 0.0
@@ -432,6 +672,11 @@ class ServingReport:
         Gather-mode sizes are member counts; continuous-mode sizes are the
         decode occupancy at admission.  An unbatched report is all 1s.
         """
+        if self.stats is not None:
+            return {
+                size: self.stats.batch_sizes[size]
+                for size in sorted(self.stats.batch_sizes)
+            }
         values, counts = np.unique(self._batch_stats()[0], return_counts=True)
         return {int(value): int(count) for value, count in zip(values, counts)}
 
@@ -442,18 +687,30 @@ class ServingReport:
         for gathered batches it is the wait the batch's oldest member paid
         while the batch formed (the latency cost of batching the paper's
         Sec. III-A argues about).  Returns a fresh array (the cached one
-        stays internal).
+        stays internal).  Streaming reports keep no per-batch records —
+        use :meth:`batch_gather_delay_percentile_s` /
+        :attr:`mean_batch_gather_delay_s` there, or run with
+        ``retain_records=True``.
         """
+        if self.stats is not None:
+            raise ConfigurationError(
+                "per-batch gather delays are not retained in streaming mode; "
+                "serve with retain_records=True for the exact array"
+            )
         return self._batch_stats()[1].copy()
 
     @property
     def mean_batch_gather_delay_s(self) -> float:
+        if self.stats is not None:
+            return self.stats.gather.mean
         delays = self._batch_stats()[1]
         if delays.size == 0:
             return 0.0
         return float(delays.mean())
 
     def batch_gather_delay_percentile_s(self, percentile: float) -> float:
+        if self.stats is not None:
+            return self.stats.gather.query(percentile)
         delays = self._batch_stats()[1]
         if delays.size == 0:
             return 0.0
@@ -475,6 +732,8 @@ class ServingReport:
         leaving unserved and are reported through ``abandonment_rate`` /
         ``failure_rate`` instead.
         """
+        if self.stats is not None:
+            return self.stats.slo_late + self.stats.slo_lost
         late = sum(1 for c in self.completed if not c.slo_met)
         dropped = sum(1 for a in self.abandoned if a.request.slo_s is not None)
         lost = sum(1 for f in self.failed if f.request.slo_s is not None)
@@ -483,9 +742,12 @@ class ServingReport:
     @property
     def slo_violation_rate(self) -> float:
         """SLO violations as a fraction of offered SLO-carrying requests."""
-        offered = sum(1 for c in self.completed if c.request.slo_s is not None)
-        offered += sum(1 for a in self.abandoned if a.request.slo_s is not None)
-        offered += sum(1 for f in self.failed if f.request.slo_s is not None)
+        if self.stats is not None:
+            offered = self.stats.slo_offered
+        else:
+            offered = sum(1 for c in self.completed if c.request.slo_s is not None)
+            offered += sum(1 for a in self.abandoned if a.request.slo_s is not None)
+            offered += sum(1 for f in self.failed if f.request.slo_s is not None)
         if offered == 0:
             return 0.0
         return self.slo_violations / offered
@@ -496,8 +758,19 @@ class ServingReport:
         return 1.0 - self.slo_violation_rate
 
     @property
+    def has_slo_requests(self) -> bool:
+        """Whether any offered request carried an SLO (both modes)."""
+        if self.stats is not None:
+            return self.stats.slo_offered > 0
+        return (
+            any(c.request.slo_s is not None for c in self.completed)
+            or any(a.request.slo_s is not None for a in self.abandoned)
+            or any(f.request.slo_s is not None for f in self.failed)
+        )
+
+    @property
     def energy_per_request_joules(self) -> float:
-        if not self.completed:
+        if self.num_requests == 0:
             return 0.0
         return self.total_energy_joules / self.num_requests
 
@@ -531,9 +804,19 @@ class ServingReport:
     @property
     def mean_failover_delay_s(self) -> float:
         """Mean kill-to-restart latency over retried dispatches."""
+        if self.stats is not None:
+            return self.stats.failover.mean
         if not self.failover_delays_s:
             return 0.0
         return float(np.mean(self.failover_delays_s))
+
+    def failover_delay_percentile_s(self, percentile: float) -> float:
+        """Kill-to-restart latency percentile over retried dispatches."""
+        if self.stats is not None:
+            return self.stats.failover.query(percentile)
+        if not self.failover_delays_s:
+            return 0.0
+        return float(np.percentile(self._sorted_failover_delays(), percentile))
 
     def _busy_window(self) -> tuple[float, float]:
         return (self.first_arrival_s, self.first_arrival_s + self.makespan_s)
@@ -621,6 +904,13 @@ class ApplianceServer:
     :class:`~repro.serving.batching.BackendBatchCostModel`.  The defaults
     (``"none"``, capacity 1) are the paper's unbatched regime and reproduce
     the pre-batching simulator bit for bit.
+
+    ``retain_records=True`` (the default) keeps every outcome record on the
+    report — the exact mode.  ``retain_records=False`` streams the records
+    through a :class:`ReportAccumulator` instead (flat memory, sketch-backed
+    percentiles), which is what million-request traces need; ``serve()``
+    then also accepts a lazy request iterator in non-decreasing arrival
+    order, never materializing the trace.
     """
 
     def __init__(self, platform: PlatformModel | Backend | str,
@@ -631,7 +921,8 @@ class ApplianceServer:
                  max_batch_size: int | None = None,
                  faults=None,
                  retry_policy=None,
-                 degraded_mode=None) -> None:
+                 degraded_mode=None,
+                 retain_records: bool = True) -> None:
         self.backend = resolve_backend(platform)
         self.oracle = LatencyOracle(self.backend)
         if num_clusters is None:
@@ -666,9 +957,10 @@ class ApplianceServer:
             if max_batch_size > 1
             else None
         )
+        self.retain_records = retain_records
 
-    def serve(self, trace: list[ServiceRequest]) -> ServingReport:
-        """Replay a request trace against this appliance's clusters."""
+    def serve(self, trace) -> ServingReport:
+        """Replay a request trace (list or lazy iterable) against the clusters."""
         # Imported here: simulator.py needs this module's report classes, so a
         # top-level import would be circular.
         from repro.serving.schedulers import make_scheduler
@@ -693,6 +985,7 @@ class ApplianceServer:
             faults=self.faults,
             retry_policy=self.retry_policy,
             degraded_mode=self.degraded_mode,
+            retain_records=self.retain_records,
         )
 
 
@@ -705,12 +998,16 @@ def saturation_sweep(
     scheduler: str | object = "fifo",
     batch_policy: str | object = "none",
     max_batch_size: int | None = None,
+    retain_records: bool = True,
 ) -> dict[float, ServingReport]:
     """Serve the same workload mix at increasing arrival rates.
 
-    ``trace_builder(rate)`` must return a request trace for that offered load;
-    the result maps each rate to its serving report, letting callers find the
+    ``trace_builder(rate)`` must return a request trace for that offered
+    load — a list or a lazy iterator in non-decreasing arrival order; the
+    result maps each rate to its serving report, letting callers find the
     saturation point (where queueing delay explodes).
+    ``retain_records=False`` streams each rate's report (flat memory), which
+    is how high-rate sweep points stay affordable.
     """
     server = ApplianceServer(
         platform,
@@ -719,6 +1016,7 @@ def saturation_sweep(
         scheduler=scheduler,
         batch_policy=batch_policy,
         max_batch_size=max_batch_size,
+        retain_records=retain_records,
     )
     return {rate: server.serve(trace_builder(rate)) for rate in arrival_rates}
 
@@ -836,12 +1134,15 @@ def find_max_rate_under_slo(
     rate_bounds: tuple[float, float] = (0.05, 64.0),
     relative_tolerance: float = 0.05,
     max_abandonment_rate: float = 0.0,
+    retain_records: bool = True,
 ) -> CapacityPlan:
     """Capacity planning for one appliance: highest rate whose tail meets the SLO.
 
     Thin wrapper binding :func:`capacity_search` to an
     :class:`ApplianceServer`; use :func:`capacity_search` directly for fleets
-    or custom serving front ends.
+    or custom serving front ends.  The search only reads the probed reports'
+    tail percentile and abandonment rate, so ``retain_records=False`` runs
+    it with flat memory at every probed rate.
     """
     server = ApplianceServer(
         platform,
@@ -850,6 +1151,7 @@ def find_max_rate_under_slo(
         scheduler=scheduler,
         batch_policy=batch_policy,
         max_batch_size=max_batch_size,
+        retain_records=retain_records,
     )
     return capacity_search(
         server.serve,

@@ -9,6 +9,20 @@ dispatch onto which idle unit.  The same loop powers the single-appliance
 and the heterogeneous :class:`~repro.serving.fleet.ApplianceFleet` (units
 from different appliances with different speeds behind one queue).
 
+The loop is built for million-request traces: completion and retry events
+live in :class:`~repro.serving.calendar.CalendarQueue` s (O(1) amortized,
+pop order bit-identical to the heaps they replaced), arrivals are pulled
+one ahead from the trace (a generator trace is never materialized), and
+every outcome record flows through a *record sink* when it seals —
+``_RetainedSink`` keeps the classic exact report lists, while
+``retain_records=False`` streams them into a
+:class:`~repro.serving.server.ReportAccumulator` (running counters plus
+online quantile sketches) so memory stays flat in the trace length.
+In-flight work holds its *provisional* completion records privately
+(:class:`_InflightDispatch` / :class:`_DecodeStream`); a record reaches the
+report only when the work really completes, which is also what makes unit
+failures cheap — killed records are dropped, not retracted.
+
 Dispatch rules:
 
 * The scheduler (``repro.serving.schedulers``) picks *which* request runs
@@ -36,17 +50,19 @@ unit's slots.  Under the default re-pricing mode
 (``ContinuousBatching(reprice=True)``) every occupancy change — admission
 or departure — re-prices the in-flight streams: each stream's completed
 work fraction is carried over and its remaining work re-runs at the new
-concurrency's rate.  Superseded completion events stay in the heap and are
-skipped by an epoch check (lazy deletion); a stream's provisional
-completion record is replaced in place when it really finishes, so
-``report.completed`` keeps dispatch order.
+concurrency's rate.  Superseded completion events stay in the calendar
+queue and are skipped by an epoch check (lazy deletion); a stream's
+provisional completion record seals with its revised finish time when it
+really completes, and the retained sink restores dispatch order at
+finalize.
 
 Fault injection (``repro.serving.faults``) adds a fourth event source: a
 compiled :class:`~repro.serving.faults.FaultSchedule` feeds a timeline of
 ``down``/``up``/``slow``/``unslow`` events into the loop.  A unit going
-down kills its in-flight work — dispatch records are retracted, energy
-already billed for the unserved remainder is refunded, and each victim is
-re-enqueued through the :class:`~repro.serving.faults.RetryPolicy` (after
+down kills its in-flight work — the victims' provisional records are
+dropped, energy already billed for the unserved remainder is refunded, and
+each victim is re-enqueued through the
+:class:`~repro.serving.faults.RetryPolicy` (after
 its exponential backoff) or recorded as a
 :class:`~repro.serving.server.FailedRequest`.  Down units never appear in
 the dispatch candidate set; a degraded-mode policy may shed queued
@@ -62,8 +78,6 @@ is dead, so the simulation is bit-identical to the pre-fault simulator.
 from __future__ import annotations
 
 import dataclasses
-import heapq
-from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -72,6 +86,8 @@ from repro.serving.batching import (
     BatchFormationPolicy,
     make_batch_policy,
 )
+from repro.serving.calendar import CalendarQueue
+from repro.serving.stats import DEFAULT_EPS
 from repro.serving.faults import (
     ABANDON_SHED,
     EVENT_DOWN,
@@ -95,11 +111,84 @@ from repro.serving.server import (
     CompletedRequest,
     FailedRequest,
     LatencyOracle,
+    ReportAccumulator,
     ServingReport,
 )
 
 #: Abandonment reason for requests a (custom) policy never dispatched.
 ABANDON_UNSERVED = "unserved"
+
+
+class _RetainedSink:
+    """Exact-mode record sink: every sealed outcome lands on the report.
+
+    Dispatches seal in *completion* order, but the classic report contract
+    is *dispatch* order (FIFO traces read like the legacy serve loop, and
+    the property suite asserts monotone start times).  Batch ids are handed
+    out in dispatch order, so sorting the sealed records by
+    ``(batch_id, member position)`` at finalize reproduces the historical
+    completed list exactly — including after unit failures, because killed
+    provisional records simply never seal (no retraction bookkeeping).
+    """
+
+    def __init__(self, report: ServingReport) -> None:
+        self.report = report
+        self._sealed: list[tuple[int, int, CompletedRequest]] = []
+        self.num_completed = 0
+        self.last_finish_s = float("-inf")
+
+    def seal_dispatch(self, records: list[CompletedRequest]) -> None:
+        for member_index, record in enumerate(records):
+            self._sealed.append((record.batch_id, member_index, record))
+            self.num_completed += 1
+            if record.finish_time_s > self.last_finish_s:
+                self.last_finish_s = record.finish_time_s
+
+    def seal_abandoned(self, abandoned: AbandonedRequest) -> None:
+        self.report.abandoned.append(abandoned)
+
+    def seal_failed(self, failed: FailedRequest) -> None:
+        self.report.failed.append(failed)
+
+    def seal_failover(self, delay_s: float) -> None:
+        self.report.failover_delays_s.append(delay_s)
+
+    def finalize(self) -> None:
+        self._sealed.sort(key=lambda item: (item[0], item[1]))
+        self.report.completed.extend(record for _, _, record in self._sealed)
+        self._sealed.clear()
+
+
+class _StreamingSink:
+    """Flat-memory sink: seals records into the report's accumulator."""
+
+    def __init__(self, report: ServingReport, eps: float) -> None:
+        report.stats = ReportAccumulator(eps=eps)
+        self.stats = report.stats
+        self._failover_list = report.failover_delays_s
+
+    @property
+    def num_completed(self) -> int:
+        return self.stats.num_completed
+
+    @property
+    def last_finish_s(self) -> float:
+        return self.stats.last_finish_s
+
+    def seal_dispatch(self, records: list[CompletedRequest]) -> None:
+        self.stats.seal_dispatch(records)
+
+    def seal_abandoned(self, abandoned: AbandonedRequest) -> None:
+        self.stats.seal_abandoned(abandoned)
+
+    def seal_failed(self, failed: FailedRequest) -> None:
+        self.stats.seal_failed(failed)
+
+    def seal_failover(self, delay_s: float) -> None:
+        self.stats.seal_failover(delay_s)
+
+    def finalize(self) -> None:
+        pass
 
 
 @dataclass
@@ -111,11 +200,12 @@ class _DecodeStream:
     total service time at a given decode concurrency, so an occupancy
     change carries completed work over and re-runs only the remainder at
     the new rate.  ``epoch`` invalidates superseded completion events in
-    the heap (lazy deletion).
+    the queue (lazy deletion).  ``record`` is the provisional completion
+    record built at admission; its finish time is revised when the stream
+    really completes and only then does the record seal into the report.
     """
 
-    request: ServiceRequest
-    record_index: int
+    record: CompletedRequest
     concurrency: int
     fraction_done: float
     last_change_s: float
@@ -125,6 +215,10 @@ class _DecodeStream:
     #: Slowdown factor in effect for the current segment (link degradation).
     slowdown: float = 1.0
 
+    @property
+    def request(self) -> ServiceRequest:
+        return self.record.request
+
 
 @dataclass
 class _InflightDispatch:
@@ -132,11 +226,12 @@ class _InflightDispatch:
 
     Gather-mode batches, singletons, and legacy (non-repriced) continuous
     admissions all pass through here; re-priced decode streams carry their
-    own state in :class:`_DecodeStream` instead.
+    own state in :class:`_DecodeStream` instead.  ``records`` are the
+    members' provisional completion records — sealed together when the
+    dispatch completes, discarded when a failure kills it.
     """
 
-    requests: list[ServiceRequest]
-    record_indices: list[int]
+    records: list[CompletedRequest]
     start_s: float
     finish_s: float
     energy_joules: float
@@ -203,14 +298,20 @@ class _SimulationState:
     scheduler: SchedulingPolicy
     batching: BatchFormationPolicy
     report: ServingReport
-    # False when no request in the trace carries patience_s, letting dispatch
-    # skip the per-event queue sweep (it can only ever be a no-op then).
+    #: Record sink: retained (exact lists) or streaming (accumulator).
+    sink: _RetainedSink | _StreamingSink = None
+    # False until a patience-carrying request enters the queue, letting
+    # dispatch skip the per-event queue sweep (it can only be a no-op until
+    # then — the sweep inspects queue members only, and a queue without
+    # patience carriers has every abandon time at infinity).
     has_patience: bool = False
     queue: list[ServiceRequest] = field(default_factory=list)
-    # Heap of (finish_s, unit_id, stream_id, epoch); stream_id is -1 for
-    # immutable dispatches, >= 0 for re-priced continuous decode streams
-    # (whose superseded events are skipped by the epoch check).
-    completions: list[tuple[float, int, int, int]] = field(default_factory=list)
+    # Calendar queue of (finish_s, unit_id, stream_id, epoch); stream_id is
+    # -1 for immutable dispatches (epoch slot holds the batch id), >= 0 for
+    # re-priced continuous decode streams (whose superseded events are
+    # skipped by the epoch check).  Pop order is bit-identical to the heap
+    # this replaces.
+    completions: CalendarQueue = field(default_factory=CalendarQueue)
     # Earliest time a held partial batch must be forced out (inf = no hold).
     flush_at_s: float = float("inf")
     next_batch_id: int = 0
@@ -220,8 +321,8 @@ class _SimulationState:
     degraded_mode: DegradedModePolicy | None = None
     #: Kills suffered so far, by request id (== dispatches attempted).
     attempts: dict[int, int] = field(default_factory=dict)
-    #: Heap of (retry_time_s, seq, request) awaiting re-enqueue.
-    retries: list[tuple[float, int, ServiceRequest]] = field(default_factory=list)
+    #: Calendar queue of (retry_time_s, seq, request) awaiting re-enqueue.
+    retries: CalendarQueue = field(default_factory=CalendarQueue)
     next_retry_seq: int = 0
     retry_budget_left: int | None = None
     #: Kill time of retried requests not yet re-dispatched (failover latency).
@@ -230,8 +331,14 @@ class _SimulationState:
     def idle_units(self) -> list[ServerUnit]:
         return [unit for unit in self.units if unit.available]
 
+    def enqueue(self, request: ServiceRequest) -> None:
+        """Add one arriving (or retried) request to the dispatch queue."""
+        self.queue.append(request)
+        if request.patience_s is not None:
+            self.has_patience = True
+
     def abandon(self, request: ServiceRequest, time_s: float, reason: str) -> None:
-        self.report.abandoned.append(
+        self.sink.seal_abandoned(
             AbandonedRequest(request=request, abandoned_time_s=time_s, reason=reason)
         )
 
@@ -258,7 +365,14 @@ class _SimulationState:
         # Any previously-registered hold is re-evaluated from scratch below.
         self.flush_at_s = float("inf")
         self.shed_queue(now)
-        if not self.queue or not self.idle_units():
+        if not self.queue:
+            return
+        # Early exit without building a list: this runs once per event, and
+        # on a loaded system most events find every unit busy.
+        for unit in self.units:
+            if unit.up and unit.active < unit.slots:
+                break
+        else:
             return
         # Patience ran out strictly before now: those requests left the
         # queue at their abandon time, before this dispatch opportunity.
@@ -296,9 +410,12 @@ class _SimulationState:
         # the same queue within this dispatch call.
         held: set[int] = set()
         while self.queue:
+            # Inlined ``unit.available`` (property dispatch is measurable at
+            # a million events) minus the units held open for batch fill.
             available = [
                 unit for unit in self.units
-                if unit.available and unit.unit_id not in held
+                if unit.up and unit.active < unit.slots
+                and unit.unit_id not in held
             ]
             if not available:
                 return
@@ -314,10 +431,15 @@ class _SimulationState:
             if chosen is None:
                 return
             request = self.queue[chosen]
-            unit = min(
-                available,
-                key=lambda u: (u.service_time_s(request), u.free_at_s, u.unit_id),
-            )
+            if len(available) == 1:
+                unit = available[0]
+            else:
+                unit = min(
+                    available,
+                    key=lambda u: (
+                        u.service_time_s(request), u.free_at_s, u.unit_id
+                    ),
+                )
             capacity = (
                 1 if unit.slots > 1 else self.batching.capacity(unit.max_batch_size)
             )
@@ -391,11 +513,10 @@ class _SimulationState:
         unit.free_at_s = max(unit.free_at_s, finish)
         batch_id = self.next_batch_id
         self.next_batch_id += 1
-        heapq.heappush(self.completions, (finish, unit.unit_id, -1, batch_id))
-        record_indices = []
+        self.completions.push((finish, unit.unit_id, -1, batch_id))
+        records = []
         for request in requests:
-            record_indices.append(len(self.report.completed))
-            self.report.completed.append(
+            records.append(
                 CompletedRequest(
                     request=request,
                     start_time_s=now,
@@ -409,8 +530,7 @@ class _SimulationState:
             )
             self.record_failover(request, now)
         unit.inflight[batch_id] = _InflightDispatch(
-            requests=list(requests),
-            record_indices=record_indices,
+            records=records,
             start_s=now,
             finish_s=finish,
             energy_joules=energy_joules,
@@ -426,9 +546,9 @@ class _SimulationState:
         The admission is priced at the occupancy it creates (like legacy
         continuous mode — the recorded ``batch_size`` is that occupancy),
         then every pre-existing stream on the unit is re-priced at the new
-        concurrency.  The completion record appended here is provisional:
-        its ``finish_time_s`` is revised in place when the stream really
-        completes, preserving dispatch order in ``report.completed``.
+        concurrency.  The completion record built here is provisional: its
+        ``finish_time_s`` is revised when the stream really completes, and
+        only the final record seals into the report.
         """
         concurrency = unit.active + 1
         workload = request.workload
@@ -441,32 +561,28 @@ class _SimulationState:
         unit.free_at_s = max(unit.free_at_s, finish)
         batch_id = self.next_batch_id
         self.next_batch_id += 1
-        record_index = len(self.report.completed)
-        self.report.completed.append(
-            CompletedRequest(
-                request=request,
-                start_time_s=now,
-                finish_time_s=finish,
-                cluster_id=unit.unit_id,
-                appliance=unit.appliance,
-                batch_id=batch_id,
-                batch_size=concurrency,
-                attempts=self.attempts.get(request.request_id, 0) + 1,
-            )
+        record = CompletedRequest(
+            request=request,
+            start_time_s=now,
+            finish_time_s=finish,
+            cluster_id=unit.unit_id,
+            appliance=unit.appliance,
+            batch_id=batch_id,
+            batch_size=concurrency,
+            attempts=self.attempts.get(request.request_id, 0) + 1,
         )
         self.record_failover(request, now)
         stream_id = self.next_stream_id
         self.next_stream_id += 1
         unit.streams[stream_id] = _DecodeStream(
-            request=request,
-            record_index=record_index,
+            record=record,
             concurrency=concurrency,
             fraction_done=0.0,
             last_change_s=now,
             finish_s=finish,
             slowdown=unit.slowdown,
         )
-        heapq.heappush(self.completions, (finish, unit.unit_id, stream_id, 0))
+        self.completions.push((finish, unit.unit_id, stream_id, 0))
         # The new admission crowds everyone already decoding on the unit.
         self.reprice_streams(unit, now, exclude=stream_id)
 
@@ -514,9 +630,8 @@ class _SimulationState:
             stream.finish_s = now + remaining
             stream.epoch += 1
             unit.free_at_s = max(unit.free_at_s, stream.finish_s)
-            heapq.heappush(
-                self.completions,
-                (stream.finish_s, unit.unit_id, stream_id, stream.epoch),
+            self.completions.push(
+                (stream.finish_s, unit.unit_id, stream_id, stream.epoch)
             )
 
     def finish_stream(self, unit: ServerUnit, stream_id: int, now: float) -> None:
@@ -528,9 +643,8 @@ class _SimulationState:
                 stream.request.workload, stream.concurrency, elapsed
             )
         unit.active -= 1
-        record = self.report.completed[stream.record_index]
-        self.report.completed[stream.record_index] = dataclasses.replace(
-            record, finish_time_s=now
+        self.sink.seal_dispatch(
+            [dataclasses.replace(stream.record, finish_time_s=now)]
         )
         self.report.total_energy_joules += stream.energy_joules
         # The departure frees decode bandwidth for the survivors.
@@ -541,7 +655,7 @@ class _SimulationState:
         """Log kill-to-restart latency when a retried request re-dispatches."""
         kill_time = self.pending_failover.pop(request.request_id, None)
         if kill_time is not None:
-            self.report.failover_delays_s.append(now - kill_time)
+            self.sink.seal_failover(now - kill_time)
 
     def apply_fault(self, unit: ServerUnit, event: FaultEvent, now: float) -> None:
         """Apply one compiled fault-timeline event to ``unit``."""
@@ -579,25 +693,26 @@ class _SimulationState:
     def fail_unit(self, unit: ServerUnit, now: float) -> None:
         """Take ``unit`` down, killing and re-routing its in-flight work.
 
-        Dispatch-time completion records of the victims are retracted (the
-        request did not complete here), energy billed for the unserved
-        remainder is refunded, and every victim goes through the retry
-        policy.  The unit stays busy-looking only through ``up=False`` —
-        its slots are freed so a later repair restores full capacity.
+        The victims' provisional completion records are simply discarded
+        (killed work never seals into the report), energy billed for the
+        unserved remainder is refunded, and every victim goes through the
+        retry policy in dispatch order — ``(batch id, member position)``,
+        the order their records were provisioned — so retry arrival order
+        is deterministic.  The unit stays busy-looking only through
+        ``up=False``; its slots are freed so a repair restores capacity.
         """
         if not unit.up:
             return
         unit.up = False
-        # (record_index, request) pairs, processed in record order so retry
-        # arrival order is deterministic.
-        victims: list[tuple[int, ServiceRequest]] = []
+        victims: list[tuple[int, int, ServiceRequest]] = []
         for batch_id, inflight in sorted(unit.inflight.items()):
             span = inflight.finish_s - inflight.start_s
             if span > 0:
                 self.report.total_energy_joules -= (
                     inflight.energy_joules * (inflight.finish_s - now) / span
                 )
-            victims.extend(zip(inflight.record_indices, inflight.requests))
+            for member_index, record in enumerate(inflight.records):
+                victims.append((batch_id, member_index, record.request))
             unit.active -= 1
         unit.inflight.clear()
         for stream_id in sorted(unit.streams):
@@ -610,28 +725,11 @@ class _SimulationState:
                     stream.request.workload, stream.concurrency, elapsed
                 )
             self.report.total_energy_joules += stream.energy_joules
-            victims.append((stream.record_index, stream.request))
+            victims.append((stream.record.batch_id, 0, stream.request))
             unit.active -= 1
         unit.streams.clear()
-        if not victims:
-            return
-        victims.sort(key=lambda pair: pair[0])
-        removed = [record_index for record_index, _ in victims]
-        for record_index in reversed(removed):
-            del self.report.completed[record_index]
-        # Surviving streams/dispatches (on other units) point into the
-        # completed list by index; shift each down by the records removed
-        # below it.
-        for other in self.units:
-            for stream in other.streams.values():
-                stream.record_index -= bisect_left(removed, stream.record_index)
-            for inflight in other.inflight.values():
-                inflight.record_indices = [
-                    index - bisect_left(removed, index)
-                    for index in inflight.record_indices
-                ]
-        self.report.invalidate_caches()
-        for _, request in victims:
+        victims.sort(key=lambda victim: (victim[0], victim[1]))
+        for _, _, request in victims:
             self.requeue_or_fail(request, now)
 
     def requeue_or_fail(self, request: ServiceRequest, now: float) -> None:
@@ -641,7 +739,7 @@ class _SimulationState:
         policy = self.retry_policy
 
         def fail(reason: str) -> None:
-            self.report.failed.append(
+            self.sink.seal_failed(
                 FailedRequest(
                     request=request,
                     failed_time_s=now,
@@ -661,26 +759,51 @@ class _SimulationState:
                 fail(FAIL_BUDGET)
                 return
             self.retry_budget_left -= 1
-        heapq.heappush(
-            self.retries,
-            (now + policy.delay_s(failures), self.next_retry_seq, request),
+        self.retries.push(
+            (now + policy.delay_s(failures), self.next_retry_seq, request)
         )
         self.next_retry_seq += 1
         self.report.num_retries += 1
         self.pending_failover[request.request_id] = now
 
 
+def _monotone_arrivals(requests):
+    """Validate a lazy trace's arrival order as it streams through.
+
+    List traces are sorted defensively (they always were); a lazy iterator
+    cannot be sorted without materializing it, so out-of-order arrivals are
+    a hard error rather than a silent reordering.
+    """
+    last_arrival = float("-inf")
+    for request in requests:
+        if request.arrival_time_s < last_arrival:
+            raise ConfigurationError(
+                "lazy traces must yield non-decreasing arrival times: "
+                f"request {request.request_id} arrives at "
+                f"{request.arrival_time_s} after {last_arrival}"
+            )
+        last_arrival = request.arrival_time_s
+        yield request
+
+
 def simulate(
     units: list[ServerUnit],
-    trace: list[ServiceRequest],
+    trace,
     scheduler: SchedulingPolicy,
     platform: str,
     batching: BatchFormationPolicy | str | None = None,
     faults: FaultSchedule | None = None,
     retry_policy: RetryPolicy | None = None,
     degraded_mode: DegradedModePolicy | None = None,
+    retain_records: bool = True,
+    quantile_eps: float = DEFAULT_EPS,
 ) -> ServingReport:
     """Replay ``trace`` against ``units`` under ``scheduler`` and ``batching``.
+
+    ``trace`` is a list (sorted here, as always) or any lazy iterable of
+    :class:`~repro.serving.requests.ServiceRequest` in non-decreasing
+    arrival order — the loop pulls one arrival ahead, so a generator trace
+    is never materialized and memory stays flat in the trace length.
 
     Returns a :class:`~repro.serving.server.ServingReport` whose busy window
     (``first_arrival_s`` / ``makespan_s``) spans first arrival to last finish.
@@ -688,6 +811,12 @@ def simulate(
     arrival order, matching the legacy serve loop).  ``batching`` defaults
     to ``"none"``: every dispatch is a singleton and the simulation is
     identical to the pre-batching simulator.
+
+    ``retain_records=True`` (default) keeps every outcome record on the
+    report, exactly as always.  ``retain_records=False`` seals records into
+    a :class:`~repro.serving.server.ReportAccumulator` on ``report.stats``
+    instead — running counters plus ``quantile_eps``-rank-error quantile
+    sketches — so report memory is O(1) in the trace length.
 
     ``faults`` is an optional :class:`~repro.serving.faults.FaultSchedule`,
     compiled here against the concrete units; ``retry_policy`` routes
@@ -736,16 +865,27 @@ def simulate(
     report.unit_appliance = {unit.unit_id: unit.appliance for unit in units}
     if compiled:
         report.unit_downtime = dict(compiled.downtime)
-    if not trace:
+    if retain_records:
+        sink = _RetainedSink(report)
+    else:
+        sink = _StreamingSink(report, eps=quantile_eps)
+
+    # Lists are sorted defensively (as always); anything else streams
+    # through with a one-arrival lookahead and an order check.
+    if hasattr(trace, "__len__"):
+        pending = iter(sorted(trace, key=lambda request: request.arrival_time_s))
+    else:
+        pending = _monotone_arrivals(iter(trace))
+    upcoming = next(pending, None)
+    if upcoming is None:
         return report
 
-    arrivals = sorted(trace, key=lambda request: request.arrival_time_s)
     state = _SimulationState(
         units=units,
         scheduler=scheduler,
         batching=policy,
         report=report,
-        has_patience=any(request.patience_s is not None for request in arrivals),
+        sink=sink,
         retry_policy=retry_policy,
         degraded_mode=degraded_mode,
         retry_budget_left=(
@@ -753,11 +893,11 @@ def simulate(
         ),
     )
     inf = float("inf")
-    next_arrival = 0
     fault_index = 0
-    now = arrivals[0].arrival_time_s
+    first_arrival_s = upcoming.arrival_time_s
+    now = first_arrival_s
     while (
-        next_arrival < len(arrivals)
+        upcoming is not None
         or state.completions
         or state.retries
         or state.flush_at_s < inf
@@ -767,17 +907,17 @@ def simulate(
         # schedule) so the loop need not replay them.
         or (state.queue and fault_index < len(fault_events))
     ):
-        next_completion_s = state.completions[0][0] if state.completions else inf
+        head = state.completions.peek()
+        next_completion_s = head[0] if head is not None else inf
         next_fault_s = (
             fault_events[fault_index].time_s
             if fault_index < len(fault_events)
             else inf
         )
-        next_retry_s = state.retries[0][0] if state.retries else inf
+        retry_head = state.retries.peek()
+        next_retry_s = retry_head[0] if retry_head is not None else inf
         next_arrival_s = (
-            arrivals[next_arrival].arrival_time_s
-            if next_arrival < len(arrivals)
-            else inf
+            upcoming.arrival_time_s if upcoming is not None else inf
         )
         # Completions fire before arrivals at the same instant, lowest unit
         # id first, mirroring the legacy min-heap pop order; a coinciding
@@ -789,8 +929,8 @@ def simulate(
         if next_completion_s <= min(
             next_fault_s, next_retry_s, next_arrival_s, state.flush_at_s
         ):
-            completion_s, unit_id, stream_id, dispatch_id = heapq.heappop(
-                state.completions
+            completion_s, unit_id, stream_id, dispatch_id = (
+                state.completions.pop()
             )
             unit = units_by_id[unit_id]
             if stream_id >= 0:
@@ -810,20 +950,20 @@ def simulate(
                     continue
                 now = completion_s
                 unit.active -= 1
+                sink.seal_dispatch(inflight.records)
         elif next_fault_s <= min(next_retry_s, next_arrival_s, state.flush_at_s):
             event = fault_events[fault_index]
             fault_index += 1
             now = event.time_s
             state.apply_fault(units_by_id[event.unit_id], event, now)
         elif next_retry_s <= min(next_arrival_s, state.flush_at_s):
-            retry_s, _, request = heapq.heappop(state.retries)
+            retry_s, _, request = state.retries.pop()
             now = retry_s
-            state.queue.append(request)
+            state.enqueue(request)
         elif next_arrival_s <= state.flush_at_s:
-            request = arrivals[next_arrival]
-            next_arrival += 1
-            state.queue.append(request)
-            now = request.arrival_time_s
+            state.enqueue(upcoming)
+            now = upcoming.arrival_time_s
+            upcoming = next(pending, None)
         else:
             # Wake to flush a held partial batch: ``dispatch`` re-asks the
             # policy, whose ``ready`` now sees the deadline reached.
@@ -840,11 +980,8 @@ def simulate(
         else:
             state.abandon(request, now, ABANDON_UNSERVED)
 
-    report.first_arrival_s = arrivals[0].arrival_time_s
-    if report.completed:
-        last_finish = max(c.finish_time_s for c in report.completed)
-        report.makespan_s = max(0.0, last_finish - report.first_arrival_s)
-    # Re-priced continuous streams replace their provisional records in
-    # place, which the (list identity, length) statistic caches cannot see.
-    report.invalidate_caches()
+    report.first_arrival_s = first_arrival_s
+    if sink.num_completed:
+        report.makespan_s = max(0.0, sink.last_finish_s - first_arrival_s)
+    sink.finalize()
     return report
