@@ -70,6 +70,17 @@ DEFAULT_TOKENS = {
 PROMPT = [5, 111, 42, 7]
 #: The engines the committed baseline tracks (and the default bench set).
 DEFAULT_ENGINES = ("functional-sim", "reference-model")
+#: Batched-engine baselines live in their own committed files: the batched
+#: report has a different shape (batch column, aggregate + per-stream
+#: numbers), so it must never clobber the single-stream baselines above.
+DEFAULT_BATCHED_OUTPUTS = {
+    "tiny": REPO_ROOT / "BENCH_hotpath_batched.json",
+    "small": REPO_ROOT / "BENCH_hotpath_batched_small.json",
+}
+DEFAULT_BATCHES = [1, 2, 4, 8]
+#: One generation length per config for the batched sweep (the batch axis is
+#: the variable under study; length 32 is the committed single-stream midpoint).
+DEFAULT_BATCHED_TOKENS = {"tiny": 32, "small": 64}
 
 
 def _time_best(factory, new_tokens: int, repeats: int) -> float:
@@ -188,6 +199,122 @@ def run_benchmark(config_name: str, tokens: list[int], repeats: int,
         "repeats": repeats,
         "entries": entries,
     }
+
+
+def run_batched_benchmark(config_name: str, batches: list[int], new_tokens: int,
+                          repeats: int, num_devices: int) -> dict:
+    """Measure the batched functional engine across cohort sizes.
+
+    Every batch size runs ``batch`` identical prompts as one lockstep cohort
+    through ``generate_batch`` on a fresh simulator (best of ``repeats``,
+    after a warm-up that populates the program/link caches and the KV slot
+    arenas).  All streams finish together, so the cohort's wall clock *is*
+    each stream's latency; aggregate tokens/sec is what batching buys.
+    """
+    config = CONFIGS[config_name]
+    weights = generate_weights(config, seed=7)
+    if len(PROMPT) + new_tokens + 2 > config.n_positions:
+        raise SystemExit(
+            f"{new_tokens} tokens exceeds the {config_name} context window"
+        )
+    entries = []
+    single_rate = None
+    for batch in batches:
+        prompts = [list(PROMPT)] * batch
+        best = float("inf")
+        for _ in range(repeats):
+            simulator = DFXFunctionalSimulator(
+                weights, num_devices=num_devices, numerics=FP16_DFX
+            )
+            simulator.generate_batch(prompts, 2)  # warm caches + arenas
+            start = time.perf_counter()
+            simulator.generate_batch(prompts, new_tokens)
+            best = min(best, time.perf_counter() - start)
+        aggregate = batch * new_tokens / best
+        if batch == 1:
+            single_rate = aggregate
+        entry = {
+            "batch": batch,
+            "new_tokens": new_tokens,
+            "seconds": round(best, 6),
+            "aggregate_tokens_per_second": round(aggregate, 1),
+            "per_stream_latency_ms": round(best * 1e3, 3),
+            "tokens_per_second_per_stream": round(new_tokens / best, 1),
+        }
+        if single_rate is not None:
+            entry["scaling_vs_single"] = round(aggregate / single_rate, 3)
+        entries.append(entry)
+        print(f"  batch {batch:3d} x {new_tokens} tokens: "
+              f"{best * 1e3:8.2f} ms/stream  {aggregate:9.1f} agg tok/s"
+              + (f"  ({entry['scaling_vs_single']:.2f}x single)"
+                 if "scaling_vs_single" in entry else ""))
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": config_name,
+        "model": config.name,
+        "num_devices": num_devices,
+        "prompt_tokens": len(PROMPT),
+        "repeats": repeats,
+        "mode": "batched",
+        "entries": entries,
+    }
+
+
+def check_batched_regression(report: dict, committed_path: Path,
+                             tolerance: float, ratio_tolerance: float) -> int:
+    """Gate the batched engine on absolute floors and batching scaling.
+
+    Two checks per committed batch size: the machine-dependent aggregate
+    tokens/sec floor (``tolerance``), and the hardware-independent
+    batched/single scaling ratio (``ratio_tolerance``) — batch 1 and batch N
+    run on the same host in the same process, so host speed cancels out of
+    the ratio and a loss of weight-stream amortization shows up anywhere.
+    """
+    if not committed_path.exists():
+        print(f"ERROR: no committed baseline at {committed_path}")
+        return 1
+    committed = json.loads(committed_path.read_text())
+    reference = {
+        entry["batch"]: entry for entry in committed.get("entries", [])
+    }
+    measured = {entry["batch"]: entry for entry in report.get("entries", [])}
+    failures = []
+    compared = 0
+    for batch, baseline in sorted(reference.items()):
+        if batch not in measured:
+            continue
+        compared += 1
+        floor = baseline["aggregate_tokens_per_second"] * (1.0 - tolerance)
+        rate = measured[batch]["aggregate_tokens_per_second"]
+        if rate < floor:
+            failures.append(
+                f"batch {batch}: {rate:.1f} agg tok/s < floor {floor:.1f} "
+                f"(committed {baseline['aggregate_tokens_per_second']:.1f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+        baseline_scaling = baseline.get("scaling_vs_single")
+        scaling = measured[batch].get("scaling_vs_single")
+        if baseline_scaling and scaling:
+            scaling_floor = baseline_scaling * (1.0 - ratio_tolerance)
+            if scaling < scaling_floor:
+                failures.append(
+                    f"batch {batch}: scaling {scaling:.2f}x single < floor "
+                    f"{scaling_floor:.2f}x (committed {baseline_scaling:.2f}x, "
+                    f"tolerance {ratio_tolerance:.0%})"
+                )
+    if failures:
+        print("BATCHED PERF REGRESSION DETECTED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    if compared == 0:
+        print("ERROR: no measured batch size matches the committed baseline "
+              "— nothing was checked")
+        return 1
+    print(f"batched perf check OK: {compared} batch sizes within "
+          f"{tolerance:.0%} (absolute) / {ratio_tolerance:.0%} (scaling) "
+          f"of the baseline")
+    return 0
 
 
 def embed_baseline(report: dict, baseline_path: Path) -> None:
@@ -315,6 +442,12 @@ def main(argv: list[str] | None = None) -> int:
         return parsed
 
     parser.add_argument("--config", choices=sorted(CONFIGS), default="tiny")
+    parser.add_argument("--batch", type=positive, nargs="+", default=None,
+                        metavar="B",
+                        help="bench the batched functional engine at these "
+                             "cohort sizes (e.g. --batch 1 2 4 8) instead of "
+                             "the single-stream engines; writes the batched "
+                             "baseline (BENCH_hotpath_batched.json for tiny)")
     parser.add_argument("--tokens", type=positive, nargs="+", default=None,
                         help="generation lengths; default depends on --config "
                              f"({', '.join(f'{k}: {v}' for k, v in DEFAULT_TOKENS.items())})")
@@ -347,6 +480,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed fractional drop of the functional-vs-"
                              "reference ratio in --check-ratio mode")
     args = parser.parse_args(argv)
+
+    if args.batch is not None:
+        new_tokens = (
+            args.tokens[0] if args.tokens else DEFAULT_BATCHED_TOKENS[args.config]
+        )
+        output = args.output or DEFAULT_BATCHED_OUTPUTS[args.config]
+        print(f"batched hot-path benchmark: config={args.config}, "
+              f"devices={args.num_devices}, repeats={args.repeats}, "
+              f"batches={args.batch}, tokens={new_tokens}")
+        report = run_batched_benchmark(
+            args.config, args.batch, new_tokens, args.repeats, args.num_devices
+        )
+        if args.check or args.check_ratio:
+            return check_batched_regression(
+                report, output, args.tolerance, args.ratio_tolerance
+            )
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+        return 0
 
     committed_default = DEFAULT_OUTPUTS[args.config]
     if args.tokens is None:

@@ -9,6 +9,9 @@ One adapter per execution platform the repo grows:
   :class:`~repro.runtime.DFXRuntime`: timing estimates from the same
   appliance model *plus* real token generation through the bit-faithful
   functional cluster simulator (``capabilities().generates_tokens``).
+  Batch-capable: the batched functional engine runs ``B`` concurrent
+  streams per compiled program, and ``batched_estimate`` prices them with
+  the appliance's lockstep-cohort cost model.
 * :class:`GPUApplianceBackend` — the calibrated Megatron-LM V100 baseline,
   batch-capable through its ``batched_request_latency_ms`` cost model.
 * :class:`TPUBackend` — the calibrated single-device cloud-TPU baseline.
@@ -22,7 +25,11 @@ appliance land on the same adapter.
 
 from __future__ import annotations
 
-from repro.backends.base import AnalyticBackend, BackendCapabilities
+from repro.backends.base import (
+    AnalyticBackend,
+    BackendCapabilities,
+    UNBOUNDED_BATCH_SIZE,
+)
 from repro.baselines.gpu import GPUAppliance
 from repro.baselines.tpu import TPUBaseline
 from repro.core.appliance import DFXAppliance
@@ -187,16 +194,17 @@ class DFXRuntimeBackend:
             )
         self._capabilities = BackendCapabilities(
             platform=name,
-            supports_batching=False,
-            max_batch_size=1,
+            supports_batching=True,
+            max_batch_size=UNBOUNDED_BATCH_SIZE,
             num_devices=num_devices,
             generates_tokens=True,
         )
-        # Batch pricing rides the same singleton arithmetic as the analytic
-        # adapter, via a tiny shim exposing estimate() as run().
-        self._analytic = AnalyticBackend(
-            _EstimateOnlyPlatform(self), name=name, max_batch_size=1
-        )
+        # Batch pricing rides the analytic adapter over a shim that exposes
+        # the appliance's lockstep-cohort cost model: one weight stream per
+        # step shared by the whole cohort, so batches above 1 are priced by
+        # the same arithmetic the batched functional engine executes (not by
+        # silently repricing the batch as one unbatched request).
+        self._analytic = AnalyticBackend(_BatchedSimPlatform(self), name=name)
 
     @property
     def runtime(self):
@@ -230,15 +238,32 @@ class DFXRuntimeBackend:
         """Tokenize, generate, detokenize, and attach timing."""
         return self.runtime.generate_text(prompt, max_new_tokens)
 
+    def generate_batch(self, prompts, max_new_tokens):
+        """Functionally generate many streams as one lockstep batch."""
+        return self.runtime.generate_batch(prompts, max_new_tokens)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DFXRuntimeBackend({self.name!r})"
 
 
-class _EstimateOnlyPlatform:
-    """Adapter shim: a backend's timing estimate as a ``run()`` platform."""
+class _BatchedSimPlatform:
+    """Adapter shim: the runtime backend's appliance as a batchable platform.
+
+    Exposes ``run()`` (the singleton estimate) plus the GPU-style
+    ``batched_request_latency_ms`` hook, priced by the appliance's
+    lockstep-cohort model (`batched_request_seconds`).  Lives on the adapter,
+    not on :class:`~repro.core.appliance.DFXAppliance`, so the plain ``dfx``
+    analytic backend keeps the paper's unbatched serving semantics.
+    """
 
     def __init__(self, backend) -> None:
         self._backend = backend
 
     def run(self, workload: Workload) -> InferenceResult:
         return self._backend.estimate(workload)
+
+    def batched_request_latency_ms(self, workload: Workload, batch_size: int) -> float:
+        seconds = self._backend._appliance.batched_request_seconds(
+            workload, batch_size
+        )
+        return seconds * 1e3

@@ -125,6 +125,39 @@ class DFXAppliance:
         """Latency of a single generation-stage iteration at a given context."""
         return self.cluster.token_step_seconds(rows=1, past_length=context_length)
 
+    def batched_request_seconds(self, workload: Workload, batch: int) -> float:
+        """Per-request latency when ``batch`` identical requests run as one
+        lockstep cohort on the batched functional engine.
+
+        Mirrors :meth:`run` step for step: the prompt streams through the
+        single-token datapath position by position and every generation
+        iteration advances the cohort by one token — but each step carries
+        ``batch`` rows that share one weight stream, and the host hand-off is
+        paid once per cohort step instead of once per stream.  All streams
+        finish together, so the cohort's wall clock *is* the per-request
+        latency.
+        """
+        if workload.total_tokens > self.config.n_positions:
+            raise ConfigurationError(
+                f"workload {workload.label} exceeds the model's context window "
+                f"({self.config.n_positions} tokens)"
+            )
+        host_overhead = self.calibration.host_overhead_per_token_s
+        seconds = host_overhead
+        for position in range(workload.input_tokens):
+            seconds += self.cluster.batched_token_step(
+                batch, position
+            ).seconds(self.spec.kernel_frequency_hz)
+        for iteration in range(1, workload.output_tokens):
+            past_length = workload.input_tokens + iteration - 1
+            seconds += (
+                self.cluster.batched_token_step(batch, past_length).seconds(
+                    self.spec.kernel_frequency_hz
+                )
+                + host_overhead
+            )
+        return seconds
+
     def run_many(self, workloads: list[Workload]) -> list[InferenceResult]:
         """Run a list of workloads (the Fig. 14 grid) and return all results."""
         return [self.run(workload) for workload in workloads]

@@ -70,6 +70,11 @@ class ComputeCore:
         self._layer_cache: dict[tuple[int, int], tuple[Program, ProgramTiming]] = {}
         self._embedding_cache: dict[int, tuple[Program, ProgramTiming]] = {}
         self._lm_head_cache: tuple[Program, ProgramTiming] | None = None
+        # Batched-cohort caches keyed on (batch, past) / batch.
+        self._batched_layer_cache: dict[
+            tuple[int, int], tuple[Program, ProgramTiming]
+        ] = {}
+        self._batched_lm_head_cache: dict[int, tuple[Program, ProgramTiming]] = {}
 
     # --------------------------------------------------------------- components
     def layer_timing(self, rows: int, past_length: int) -> ProgramTiming:
@@ -99,6 +104,29 @@ class ComputeCore:
             self._lm_head_cache = (program, self.scheduler.time_program(program))
         return self._lm_head_cache[1]
 
+    def batched_layer_timing(self, batch: int, past_length: int) -> ProgramTiming:
+        """Timing of one decoder layer for a lockstep decode cohort (cached)."""
+        if batch == 1:
+            return self.layer_timing(1, past_length)
+        key = (batch, past_length)
+        if key not in self._batched_layer_cache:
+            program = self.compiler.compile_batched_decoder_step(batch, past_length)
+            self._batched_layer_cache[key] = (
+                program, self.scheduler.time_program(program)
+            )
+        return self._batched_layer_cache[key][1]
+
+    def batched_lm_head_timing(self, batch: int) -> ProgramTiming:
+        """Timing of the LM head scoring all cohort streams (cached)."""
+        if batch == 1:
+            return self.lm_head_timing()
+        if batch not in self._batched_lm_head_cache:
+            program = self.compiler.compile_batched_lm_head(batch)
+            self._batched_lm_head_cache[batch] = (
+                program, self.scheduler.time_program(program)
+            )
+        return self._batched_lm_head_cache[batch][1]
+
     # -------------------------------------------------------------- token steps
     def token_step(self, rows: int, past_length: int) -> TokenStepTiming:
         """Timing of one full token step on this device.
@@ -126,6 +154,41 @@ class ComputeCore:
     def token_step_seconds(self, rows: int, past_length: int) -> float:
         """Seconds for one token step, including the host hand-off overhead."""
         step = self.token_step(rows, past_length)
+        return (
+            step.seconds(self.spec.kernel_frequency_hz)
+            + self.calibration.host_overhead_per_token_s
+        )
+
+    def batched_token_step(self, batch: int, past_length: int) -> TokenStepTiming:
+        """Timing of one lockstep cohort decode step (``batch`` streams).
+
+        Every stream advances by one token: the embedding handles ``batch``
+        rows, each decoder layer multicasts its weight stream across the
+        cohort, and the LM head scores all last rows against one WTE pass.
+        ``batch == 1`` is exactly :meth:`token_step` with one row.
+        """
+        if batch == 1:
+            return self.token_step(rows=1, past_length=past_length)
+        embedding = self.embedding_timing(batch)
+        layer = self.batched_layer_timing(batch, past_length)
+        lm_head = self.batched_lm_head_timing(batch)
+        total = embedding.merged(layer.scaled(self.config.n_layer)).merged(lm_head)
+
+        layer_program = self._batched_layer_cache[(batch, past_length)][0]
+        embedding_program = self._embedding_cache[batch][0]
+        lm_head_program = self._batched_lm_head_cache[batch][0]
+        flops = (
+            embedding_program.total_flops()
+            + layer_program.total_flops() * self.config.n_layer
+            + lm_head_program.total_flops()
+        )
+        return TokenStepTiming(
+            rows=batch, past_length=past_length, timing=total, flops_per_device=flops
+        )
+
+    def batched_token_step_seconds(self, batch: int, past_length: int) -> float:
+        """Seconds for one cohort step; one host hand-off covers all streams."""
+        step = self.batched_token_step(batch, past_length)
         return (
             step.seconds(self.spec.kernel_frequency_hz)
             + self.calibration.host_overhead_per_token_s

@@ -129,6 +129,126 @@ class GrowableKV:
         self.length = needed
 
 
+class BatchedKV:
+    """A slot arena of per-stream KV caches sharing one allocation.
+
+    Rows live in a preallocated ``(slots, capacity, cols)`` array; each slot
+    belongs to one generation stream and carries its own logical ``length``.
+    A lockstep *cohort* occupies a contiguous slot range ``[lo, hi)`` whose
+    slots all hold the same length, so the cohort's cache is the zero-copy
+    view ``data[lo:hi, :length]`` — the 3-D analogue of
+    :meth:`GrowableKV.view`.  Slot storage is recycled: departing streams
+    free their slots for later admissions instead of deallocating, and the
+    arena only reallocates when the slot count or row capacity must grow.
+    """
+
+    __slots__ = ("data", "lengths")
+
+    def __init__(self, cols: int, dtype: np.dtype, slots: int, capacity: int) -> None:
+        capacity = max(int(capacity), _KV_MIN_CAPACITY)
+        self.data = np.empty((slots, capacity, cols), dtype=dtype)
+        self.lengths = np.zeros(slots, dtype=np.int64)
+
+    @property
+    def slots(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def capacity(self) -> int:
+        return int(self.data.shape[1])
+
+    def view(self, lo: int, hi: int) -> np.ndarray:
+        """The cohort's caches: ``(hi - lo, length, cols)``, no copy."""
+        return self.data[lo:hi, : int(self.lengths[lo])]
+
+    def append(self, lo: int, hi: int, rows: np.ndarray) -> None:
+        """Append ``(hi - lo, n, cols)`` rows to every slot of the cohort."""
+        length = int(self.lengths[lo])
+        count = rows.shape[1]
+        self.data[lo:hi, length : length + count] = rows
+        self.lengths[lo:hi] = length + count
+
+    def ensure(self, slots: int, capacity: int) -> None:
+        """Grow the arena to at least ``(slots, capacity)``, keeping contents."""
+        old_slots, old_capacity, cols = self.data.shape
+        if slots <= old_slots and capacity <= old_capacity:
+            return
+        grown = np.empty(
+            (max(slots, old_slots), max(capacity, old_capacity), cols),
+            dtype=self.data.dtype,
+        )
+        grown[:old_slots, :old_capacity] = self.data
+        self.data = grown
+        if grown.shape[0] > old_slots:
+            lengths = np.zeros(grown.shape[0], dtype=np.int64)
+            lengths[:old_slots] = self.lengths
+            self.lengths = lengths
+
+    def copy_slots(self, dst: int, src: int, count: int) -> None:
+        """Move ``count`` slots' contents from ``src`` to ``dst`` (compaction)."""
+        if dst == src:
+            return
+        self.data[dst : dst + count] = self.data[src : src + count]
+        self.lengths[dst : dst + count] = self.lengths[src : src + count]
+
+
+class BatchedKVPool:
+    """All KV arenas of a batched simulator, grown and recycled together.
+
+    Every ``(layer, device, head)`` cache buffer is one :class:`BatchedKV`
+    registered here; the pool keeps them dimensioned identically so one slot
+    index means "this stream" in every arena.  Slot storage persists across
+    generation sessions (departing streams just free their slot range), and
+    :meth:`shrink` releases the high-water-mark allocation when a long
+    serving run wants its memory back.
+    """
+
+    def __init__(self, dtype: np.dtype) -> None:
+        self.dtype = np.dtype(dtype)
+        self.slots = 0
+        self.capacity = _KV_MIN_CAPACITY
+        self.arenas: list[BatchedKV] = []
+
+    def new_arena(self, cols: int) -> BatchedKV:
+        arena = BatchedKV(cols, self.dtype, self.slots, self.capacity)
+        self.arenas.append(arena)
+        return arena
+
+    def ensure(self, slots: int | None = None, capacity: int | None = None) -> None:
+        """Grow every arena to at least the requested dimensions."""
+        if slots is not None:
+            self.slots = max(self.slots, int(slots))
+        if capacity is not None:
+            self.capacity = max(self.capacity, int(capacity))
+        for arena in self.arenas:
+            arena.ensure(self.slots, self.capacity)
+
+    def clear_slots(self, lo: int, hi: int) -> None:
+        """Reset the logical length of a recycled slot range to zero."""
+        for arena in self.arenas:
+            arena.lengths[lo:hi] = 0
+
+    def clear_all(self) -> None:
+        for arena in self.arenas:
+            arena.lengths[:] = 0
+
+    def copy_slots(self, dst: int, src: int, count: int) -> None:
+        for arena in self.arenas:
+            arena.copy_slots(dst, src, count)
+
+    def shrink(self) -> None:
+        """Drop slot storage back to the empty baseline (explicit reclaim)."""
+        self.slots = 0
+        self.capacity = _KV_MIN_CAPACITY
+        for arena in self.arenas:
+            cols = arena.data.shape[2]
+            arena.data = np.empty((0, self.capacity, cols), dtype=self.dtype)
+            arena.lengths = np.zeros(0, dtype=np.int64)
+
+    def memory_bytes(self) -> int:
+        return sum(arena.data.nbytes for arena in self.arenas)
+
+
 @dataclass
 class FunctionalCore:
     """Interprets one device's DFX instructions against NumPy buffers.
@@ -377,6 +497,59 @@ class FunctionalCore:
             raise ExecutionError(f"unknown instruction type {type(instruction).__name__}")
 
 
+@dataclass
+class BatchedFunctionalCore(FunctionalCore):
+    """A :class:`FunctionalCore` whose buffers carry a leading batch axis.
+
+    Registers hold ``(batch, rows, cols)`` arrays — one slice per lockstep
+    stream — and the KV cache lives in shared :class:`BatchedKV` slot arenas
+    instead of per-request :class:`GrowableKV` buffers.  ``slot_lo``/
+    ``slot_hi`` name the arena slot range of the cohort currently executing;
+    the batched fast path reads them when unwrapping KV operands.  Only the
+    two structurally 2-D helpers need overriding: every other instruction
+    semantic is shape-polymorphic (stacked 3-D matmuls and elementwise ufuncs
+    are bit-identical per slice to their 2-D forms, which is what keeps the
+    batched engine on the bit-exactness contract).
+    """
+
+    slot_lo: int = 0
+    slot_hi: int = 0
+    kv_pool: BatchedKVPool | None = None
+
+    def _scatter_value(
+        self,
+        dst: str,
+        current: np.ndarray | None,
+        result: np.ndarray,
+        total_cols: int,
+        col_offset: int,
+    ) -> np.ndarray:
+        """Batched output scatter: per-head writes share a 3-D accumulator."""
+        shape = result.shape[:-1] + (total_cols,)
+        if current is None or current.shape != shape:
+            buffer = np.zeros(shape, dtype=self.numerics.dtype)
+            self._scatter_buffers[dst] = buffer
+        elif self._scatter_buffers.get(dst) is current:
+            buffer = current
+        else:
+            buffer = current.copy()
+            self._scatter_buffers[dst] = buffer
+        buffer[..., col_offset : col_offset + result.shape[-1]] = result
+        return buffer
+
+    def _append_kv(self, dst: str, source: np.ndarray) -> None:
+        """Append each stream's KV rows to its arena slot (in place)."""
+        arena = self.memory.get(dst)
+        if type(arena) is not BatchedKV:
+            if self.kv_pool is None:
+                raise ExecutionError(
+                    f"batched KV append to {dst!r} without an arena pool"
+                )
+            arena = self.kv_pool.new_arena(source.shape[-1])
+            self.memory[dst] = arena
+        arena.append(self.slot_lo, self.slot_hi, source)
+
+
 def split_at_syncs(program: Program) -> list[tuple[list[Instruction], RouterInstruction | None]]:
     """Split a program into segments ending at each router instruction.
 
@@ -413,6 +586,7 @@ class _SegmentCompiler:
         "_MASK_VALUE": MASK_VALUE,
         "ExecutionError": ExecutionError,
         "GrowableKV": GrowableKV,
+        "BatchedKV": BatchedKV,
     }
 
     _BINARY_UFUNCS = {
@@ -421,8 +595,13 @@ class _SegmentCompiler:
         VectorOpcode.MUL: "_np.multiply",
     }
 
-    def __init__(self, numerics: Numerics) -> None:
+    def __init__(self, numerics: Numerics, batched: bool = False) -> None:
         self.numerics = numerics
+        # Batched mode generates the leading-batch-axis variant of each
+        # expression: ellipsis column slices, axis-polymorphic transposes,
+        # and KV unwrapping against the core's cohort slot range.  Every
+        # variant is a per-slice bit-exact generalization of the 2-D form.
+        self.batched = batched
         self.lines: list[str] = []
         self.consts: dict[str, object] = {}
         self.registers_vars: dict[str, str] = {}
@@ -483,8 +662,12 @@ class _SegmentCompiler:
         self.emit(f"    {var} = _memory.get({name!r})")
         self.emit(f"    if {var} is None:")
         self.emit(f"        raise ExecutionError({message})")
-        self.emit(f"    if {var}.__class__ is GrowableKV:")
-        self.emit(f"        {var} = {var}.view()")
+        if self.batched:
+            self.emit(f"    if {var}.__class__ is BatchedKV:")
+            self.emit(f"        {var} = {var}.view(_slot_lo, _slot_hi)")
+        else:
+            self.emit(f"    if {var}.__class__ is GrowableKV:")
+            self.emit(f"        {var} = {var}.view()")
         return var
 
     def write_register(self, register: str) -> str:
@@ -494,12 +677,19 @@ class _SegmentCompiler:
         return var
 
     def as_2d(self, register: str) -> str:
-        """Variable holding ``register`` viewed as 2-D (memoized)."""
+        """Variable holding ``register`` viewed as 2-D (memoized).
+
+        In batched mode registers already carry their canonical 3-D
+        ``(batch, rows, cols)`` shape, so this is the identity.
+        """
         key = ("2d", register)
         cached = self._cse.get(key)
         if cached is not None:
             return cached
         var = self.read_register(register)
+        if self.batched:
+            self._cse[key] = var
+            return var
         out = self.temp()
         self.emit(f"{out} = {var} if {var}.ndim == 2 else {var}.reshape(1, -1)")
         self._cse[key] = out
@@ -529,7 +719,8 @@ class _SegmentCompiler:
             start = instruction.input_col_offset
             stop = start + instruction.input_col_count
             sliced = self.temp()
-            self.emit(f"{sliced} = {operand}[:, {start}:{stop}]")
+            columns = "..." if self.batched else ":"
+            self.emit(f"{sliced} = {operand}[{columns}, {start}:{stop}]")
             operand = sliced
         weight = self.read_any(instruction.weight_operand)
         transpose = (
@@ -537,7 +728,11 @@ class _SegmentCompiler:
         )
         if transpose:
             transposed = self.temp()
-            self.emit(f"{transposed} = {weight}.T")
+            if self.batched:
+                # Works for shared 2-D weights and per-cohort 3-D KV views.
+                self.emit(f"{transposed} = {weight}.swapaxes(-1, -2)")
+            else:
+                self.emit(f"{transposed} = {weight}.T")
             weight = transposed
         result = self.temp()
         # Persistent weights are staged in the compute dtype already; the
@@ -570,7 +765,8 @@ class _SegmentCompiler:
             # the unmasked one bit for bit, so the where/cast is skipped.
             offset = instruction.mask_offset
             cast = self.const(self.numerics.cast)
-            self.emit(f"_rows, _cols = {result}.shape")
+            shape = f"{result}.shape[-2:]" if self.batched else f"{result}.shape"
+            self.emit(f"_rows, _cols = {shape}")
             self.emit(f"if {offset} < _cols - 1:")
             self.emit(f"    _query = _np.arange(_rows)[:, None] + {offset}")
             self.emit(f"    _allowed = _np.arange(_cols)[None, :] <= _query")
@@ -676,7 +872,8 @@ class _SegmentCompiler:
                 start = instruction.col_offset
                 stop = start + instruction.col_count
                 sliced = self.temp()
-                self.emit(f"{sliced} = {source}[:, {start}:{stop}]")
+                columns = "..." if self.batched else ":"
+                self.emit(f"{sliced} = {source}[{columns}, {start}:{stop}]")
                 source = sliced
             self.emit(f"_append_kv({instruction.dst!r}, {source})")
             return
@@ -716,6 +913,9 @@ class _SegmentCompiler:
             header.append("    _scatter_value = core._scatter_value")
         if "_append_kv(" in body_text:
             header.append("    _append_kv = core._append_kv")
+        if "_slot_lo" in body_text:
+            header.append("    _slot_lo = core.slot_lo")
+            header.append("    _slot_hi = core.slot_hi")
         epilogue = [
             f"    _registers[{register!r}] = {var}"
             for register, var in self.registers_vars.items()
@@ -731,10 +931,13 @@ class _SegmentCompiler:
 
 
 def _compile_segment(
-    instructions: tuple[Instruction, ...], numerics: Numerics, label: str
+    instructions: tuple[Instruction, ...],
+    numerics: Numerics,
+    label: str,
+    batched: bool = False,
 ) -> Handler:
     """Lower one sync-free instruction run to a single bound handler."""
-    compiler = _SegmentCompiler(numerics)
+    compiler = _SegmentCompiler(numerics, batched)
     for instruction in instructions:
         compiler.add_instruction(instruction)
     return compiler.build(label)
@@ -817,6 +1020,7 @@ def link_program(
     numerics: Numerics,
     shared_inputs: frozenset[str] = frozenset(),
     replicated_memory: frozenset[str] = frozenset(),
+    batched: bool = False,
 ) -> LinkedProgram:
     """Lower ``program`` to a :class:`LinkedProgram` (memoized).
 
@@ -831,7 +1035,7 @@ def link_program(
     instruction stream is unchanged).
     """
     count = len(program.instructions)
-    key = (numerics, shared_inputs, replicated_memory)
+    key = (numerics, shared_inputs, replicated_memory, batched)
     cached = program._link_cache.get(key)
     if cached is not None and cached[0] == count:
         return cached[1]
@@ -888,13 +1092,15 @@ def link_program(
         prefix_instructions, _, body_instructions = splits[index]
         prefix = (
             _compile_segment(
-                prefix_instructions, numerics, f"{program.name}#{index}.shared"
+                prefix_instructions, numerics, f"{program.name}#{index}.shared", batched
             )
             if prefix_instructions
             else None
         )
         body = (
-            _compile_segment(body_instructions, numerics, f"{program.name}#{index}")
+            _compile_segment(
+                body_instructions, numerics, f"{program.name}#{index}", batched
+            )
             if body_instructions
             else None
         )
@@ -1021,6 +1227,9 @@ class DFXFunctionalSimulator:
         self._embedding_core = FunctionalCore(
             numerics=numerics, registers={}, memory={}
         )
+        # Batched (multi-stream) execution state; built lazily on the first
+        # generate_batch() so single-stream users pay nothing for it.
+        self._batched: _BatchedState | None = None
 
     # ------------------------------------------------------------------ binding
     def _bound_memory(self, memory: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -1080,6 +1289,7 @@ class DFXFunctionalSimulator:
         cores: list[FunctionalCore],
         shared_inputs: frozenset[str] = frozenset(),
         replicated_memory: frozenset[str] = frozenset(),
+        batched: bool = False,
     ) -> list[FunctionalCore]:
         """Run ``program`` on every device core, resolving syncs by all-gather.
 
@@ -1091,7 +1301,9 @@ class DFXFunctionalSimulator:
         linked = (
             program
             if isinstance(program, LinkedProgram)
-            else link_program(program, self.numerics, shared_inputs, replicated_memory)
+            else link_program(
+                program, self.numerics, shared_inputs, replicated_memory, batched
+            )
         )
         primary = cores[0]
         others = cores[1:]
@@ -1226,3 +1438,406 @@ class DFXFunctionalSimulator:
     def kv_cache_length(self) -> int:
         """Number of token positions currently cached."""
         return self._past_length
+
+    # ------------------------------------------------------------------ batched
+    def _ensure_batched_state(self) -> "_BatchedState":
+        """Build (once) the cores and KV arenas of the batched engine.
+
+        The batched cores share the staged weight arrays with the
+        single-stream cores but keep separate memory dicts, so per-request
+        :class:`GrowableKV` buffers and per-cohort :class:`BatchedKV` arenas
+        never collide.
+        """
+        if self._batched is not None:
+            return self._batched
+        dtype = (
+            np.dtype(np.float32)
+            if self.numerics.accumulate_fp32
+            else self.numerics.dtype
+        )
+        pool = BatchedKVPool(dtype)
+        layer_memory = [
+            [
+                {
+                    name: value
+                    for name, value in memory.items()
+                    if type(value) is not GrowableKV
+                }
+                for memory in device_layers
+            ]
+            for device_layers in self._layer_memory
+        ]
+        layer_cores = [
+            [
+                BatchedFunctionalCore(
+                    numerics=self.numerics,
+                    registers={},
+                    memory=layer_memory[device_id][layer_index],
+                    kv_pool=pool,
+                )
+                for device_id in range(self.num_devices)
+            ]
+            for layer_index in range(self.config.n_layer)
+        ]
+        lm_cores = [
+            BatchedFunctionalCore(
+                numerics=self.numerics,
+                registers={},
+                memory=self._lm_head_memory[device_id],
+                kv_pool=pool,
+            )
+            for device_id in range(self.num_devices)
+        ]
+        embedding_core = BatchedFunctionalCore(
+            numerics=self.numerics, registers={}, memory={}, kv_pool=pool
+        )
+        self._batched = _BatchedState(
+            pool=pool,
+            layer_cores=layer_cores,
+            lm_cores=lm_cores,
+            embedding_core=embedding_core,
+        )
+        return self._batched
+
+    def _batched_forward(
+        self, token_ids: np.ndarray, past: int, lo: int, hi: int
+    ) -> np.ndarray:
+        """One lockstep forward over a cohort occupying arena slots [lo, hi).
+
+        ``token_ids`` is ``(batch, rows)``: each stream's token rows for this
+        step (all streams share the same ``past``).  Returns the greedy next
+        token of every stream.  Per-stream results are bit-identical to
+        feeding the same rows through :meth:`forward` one stream at a time —
+        every fused expression is a stacked-3-D generalization proven
+        bit-exact per slice.
+        """
+        state = self._ensure_batched_state()
+        batch, rows = token_ids.shape
+        positions = np.arange(past, past + rows)
+
+        embedding_program = self.compiler.compile_embedding(rows)
+        embedding_core = state.embedding_core
+        embedding_core.memory["wte_rows"] = self.weights.wte[token_ids]
+        embedding_core.memory["wpe_rows"] = self.weights.wpe[positions]
+        self._run_lockstep(embedding_program, [embedding_core], batched=True)
+        hidden = embedding_core.registers["hidden"]
+
+        if rows == 1:
+            layer_program = self.compiler.compile_decoder_step()
+        else:
+            layer_program = self.compiler.compile_decoder_layer(rows, past)
+        linked_layer = link_program(
+            layer_program,
+            self.numerics,
+            self._layer_shared_inputs,
+            self._replicated_layer_names,
+            batched=True,
+        )
+        for layer_index in range(self.config.n_layer):
+            cores = state.layer_cores[layer_index]
+            for core in cores:
+                core.registers["hidden"] = hidden
+                core.slot_lo = lo
+                core.slot_hi = hi
+            self._run_lockstep(linked_layer, cores)
+            hidden = cores[0].registers["hidden_out"]
+
+        lm_head_program = link_program(
+            self.compiler.compile_lm_head(),
+            self.numerics,
+            self._lm_shared_inputs,
+            self._replicated_lm_names,
+            batched=True,
+        )
+        last_hidden = hidden[:, -1:, :]
+        cores = state.lm_cores
+        for core in cores:
+            core.registers["hidden_last"] = last_hidden
+        self._run_lockstep(lm_head_program, cores)
+        logits = np.asarray(cores[0].registers["logits"], dtype=np.float32)[:, 0, :]
+        return np.argmax(logits, axis=-1)
+
+    def batched_session(self) -> "BatchedGenerationSession":
+        """Open a continuous-batching generation session on this simulator."""
+        return BatchedGenerationSession(self)
+
+    def generate_batch(
+        self,
+        prompts: list[list[int]],
+        max_new_tokens: int | list[int],
+    ) -> list[list[int]]:
+        """Greedy generation of many streams through the batched engine.
+
+        Streams with equal prompt lengths prefill together and decode as
+        lockstep cohorts; cohorts whose past lengths align merge, and
+        finished streams leave their cohort (their arena slots are recycled).
+        Per-stream outputs are bit-identical to :meth:`generate` run stream
+        by stream.
+        """
+        if not prompts:
+            return []
+        budgets = (
+            [max_new_tokens] * len(prompts)
+            if isinstance(max_new_tokens, int)
+            else list(max_new_tokens)
+        )
+        if len(budgets) != len(prompts):
+            raise ExecutionError(
+                "max_new_tokens must be an int or match the number of prompts"
+            )
+        session = self.batched_session()
+        stream_ids = [
+            session.admit(prompt, budget)
+            for prompt, budget in zip(prompts, budgets)
+        ]
+        session.run()
+        return [session.outputs(stream_id) for stream_id in stream_ids]
+
+    def reclaim_batched_kv(self) -> None:
+        """Release the batched KV arenas' slot storage (explicit reclaim).
+
+        Long serving runs otherwise hold the high-water-mark allocation of
+        the largest cohort ever admitted; after this, the next session grows
+        the arenas back on demand.  Weights, cores, compiled programs, and
+        linked segments all stay warm.
+        """
+        if self._batched is not None:
+            self._batched.pool.shrink()
+
+    @property
+    def batched_kv_memory_bytes(self) -> int:
+        """Bytes currently allocated to the batched KV slot arenas."""
+        if self._batched is None:
+            return 0
+        return self._batched.pool.memory_bytes()
+
+
+@dataclass
+class _BatchedState:
+    """Lazily built per-simulator state of the batched engine."""
+
+    pool: BatchedKVPool
+    layer_cores: list[list[BatchedFunctionalCore]]
+    lm_cores: list[BatchedFunctionalCore]
+    embedding_core: BatchedFunctionalCore
+
+
+class _Stream:
+    """One generation stream inside a batched session."""
+
+    __slots__ = ("stream_id", "prompt", "remaining", "outputs", "next_token", "slot")
+
+    def __init__(self, stream_id: int, prompt: list[int], budget: int) -> None:
+        self.stream_id = stream_id
+        self.prompt = prompt
+        self.remaining = budget
+        self.outputs: list[int] = []
+        self.next_token = -1
+        self.slot = -1
+
+
+class _Cohort:
+    """A contiguous arena slot range of streams decoding in lockstep."""
+
+    __slots__ = ("lo", "hi", "past", "streams")
+
+    def __init__(self, lo: int, hi: int, past: int, streams: list[_Stream]) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.past = past
+        self.streams = streams  # in slot order
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+class BatchedGenerationSession:
+    """Continuous-batching generation over the batched functional engine.
+
+    Mirrors a serving scheduler's decode slots: :meth:`admit` queues a
+    stream, each :meth:`step` prefills pending admissions (grouped by prompt
+    length so ragged prompts execute in lockstep sub-batches) and advances
+    every decode cohort by one token.  Streams whose budget is exhausted
+    leave their cohort (survivors are packed left, freed slots recycle), and
+    cohorts whose past lengths align merge into one — so a late admission
+    can join an in-flight batch mid-decode.  Slot storage persists across
+    sessions on the simulator's arena pool; a new session only resets the
+    logical lengths.
+    """
+
+    def __init__(self, simulator: DFXFunctionalSimulator) -> None:
+        self._sim = simulator
+        state = simulator._ensure_batched_state()
+        self._pool = state.pool
+        self._pool.clear_all()
+        self._slots = self._pool.slots
+        self._free: list[tuple[int, int]] = [(0, self._slots)] if self._slots else []
+        self._streams: dict[int, _Stream] = {}
+        self._pending: list[_Stream] = []
+        self._cohorts: list[_Cohort] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------- slots
+    def _alloc(self, count: int) -> int:
+        """First-fit allocation of a contiguous slot range (grows the pool)."""
+        for index, (lo, hi) in enumerate(self._free):
+            if hi - lo >= count:
+                if hi - lo == count:
+                    del self._free[index]
+                else:
+                    self._free[index] = (lo + count, hi)
+                return lo
+        lo = self._slots
+        # Grow geometrically so a long run of admissions does not reallocate
+        # the arenas per admission (the recycled-slot fast path stays hot).
+        self._slots = max(lo + count, 2 * self._slots, 4)
+        self._pool.ensure(slots=self._slots)
+        if self._slots > lo + count:
+            self._free.append((lo + count, self._slots))
+        return lo
+
+    def _release(self, lo: int, hi: int) -> None:
+        """Return a slot range to the free list, coalescing neighbours."""
+        if hi <= lo:
+            return
+        self._free.append((lo, hi))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for range_lo, range_hi in self._free:
+            if merged and merged[-1][1] == range_lo:
+                merged[-1] = (merged[-1][0], range_hi)
+            else:
+                merged.append((range_lo, range_hi))
+        self._free = merged
+
+    # --------------------------------------------------------------- interface
+    def admit(self, prompt: list[int], max_new_tokens: int) -> int:
+        """Queue a stream; it prefills on the next :meth:`step`."""
+        if max_new_tokens <= 0:
+            raise ExecutionError("max_new_tokens must be positive")
+        if not prompt:
+            raise ExecutionError("prompt must be non-empty")
+        stream = _Stream(self._next_id, list(prompt), max_new_tokens)
+        self._next_id += 1
+        self._streams[stream.stream_id] = stream
+        self._pending.append(stream)
+        return stream.stream_id
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently decoding (pending admissions excluded)."""
+        return sum(cohort.size for cohort in self._cohorts)
+
+    @property
+    def cohort_sizes(self) -> list[int]:
+        """Sizes of the in-flight cohorts (slot order); for tests/metrics."""
+        return [
+            cohort.size for cohort in sorted(self._cohorts, key=lambda c: c.lo)
+        ]
+
+    def outputs(self, stream_id: int) -> list[int]:
+        """Tokens generated so far by ``stream_id``."""
+        return list(self._streams[stream_id].outputs)
+
+    def step(self) -> bool:
+        """Prefill pending admissions and advance every cohort by one token.
+
+        Returns ``True`` while any stream remains pending or in flight.
+        """
+        decoding = sorted(self._cohorts, key=lambda cohort: cohort.lo)
+        self._admit_pending()
+        for cohort in decoding:
+            self._decode_cohort(cohort)
+        self._merge_cohorts()
+        return bool(self._pending or self._cohorts)
+
+    def run(self) -> None:
+        """Step until every admitted stream has exhausted its budget."""
+        while self.step():
+            pass
+
+    # ---------------------------------------------------------------- internals
+    def _admit_pending(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        by_length: dict[int, list[_Stream]] = {}
+        for stream in pending:
+            by_length.setdefault(len(stream.prompt), []).append(stream)
+        for prompt_length in sorted(by_length):
+            group = by_length[prompt_length]
+            needed = prompt_length + max(stream.remaining for stream in group) - 1
+            self._pool.ensure(capacity=needed)
+            lo = self._alloc(len(group))
+            hi = lo + len(group)
+            self._pool.clear_slots(lo, hi)
+            for offset, stream in enumerate(group):
+                stream.slot = lo + offset
+            token_matrix = np.asarray(
+                [stream.prompt for stream in group], dtype=np.int64
+            )
+            tokens = self._sim._batched_forward(token_matrix, 0, lo, hi)
+            cohort = _Cohort(lo, hi, prompt_length, group)
+            self._record_tokens(cohort, tokens)
+
+    def _decode_cohort(self, cohort: _Cohort) -> None:
+        if cohort not in self._cohorts:
+            return  # merged away earlier this step
+        step_tokens = np.asarray(
+            [[stream.next_token] for stream in cohort.streams], dtype=np.int64
+        )
+        tokens = self._sim._batched_forward(
+            step_tokens, cohort.past, cohort.lo, cohort.hi
+        )
+        cohort.past += 1
+        self._record_tokens(cohort, tokens)
+
+    def _record_tokens(self, cohort: _Cohort, tokens: np.ndarray) -> None:
+        """Record one generated token per stream, then process departures."""
+        for stream, token in zip(cohort.streams, tokens):
+            stream.outputs.append(int(token))
+            stream.next_token = int(token)
+            stream.remaining -= 1
+        survivors = [stream for stream in cohort.streams if stream.remaining > 0]
+        if len(survivors) < cohort.size:
+            # Pack survivors left within the cohort's range (slot order is
+            # increasing, so each copy moves a slot to a lower, already
+            # vacated index) and recycle the tail.
+            write = cohort.lo
+            for stream in survivors:
+                if stream.slot != write:
+                    self._pool.copy_slots(write, stream.slot, 1)
+                    stream.slot = write
+                write += 1
+            self._release(write, cohort.hi)
+            cohort.hi = write
+            cohort.streams = survivors
+        if cohort.streams:
+            if cohort not in self._cohorts:
+                self._cohorts.append(cohort)
+        elif cohort in self._cohorts:
+            self._cohorts.remove(cohort)
+
+    def _merge_cohorts(self) -> None:
+        """Merge cohorts whose past lengths have aligned (streams join)."""
+        by_past: dict[int, list[_Cohort]] = {}
+        for cohort in self._cohorts:
+            by_past.setdefault(cohort.past, []).append(cohort)
+        for past in sorted(by_past):
+            group = sorted(by_past[past], key=lambda cohort: cohort.lo)
+            if len(group) < 2:
+                continue
+            total = sum(cohort.size for cohort in group)
+            lo = self._alloc(total)
+            write = lo
+            streams: list[_Stream] = []
+            for cohort in group:
+                self._pool.copy_slots(write, cohort.lo, cohort.size)
+                for offset, stream in enumerate(cohort.streams):
+                    stream.slot = write + offset
+                streams.extend(cohort.streams)
+                write += cohort.size
+                self._release(cohort.lo, cohort.hi)
+                self._cohorts.remove(cohort)
+            self._cohorts.append(_Cohort(lo, lo + total, past, streams))

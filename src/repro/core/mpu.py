@@ -96,7 +96,14 @@ class MPUModel:
             )
         else:
             bytes_per_cycle = self.streaming_bytes_per_cycle()
-        stream_per_row = weight_bytes_per_row / bytes_per_cycle
+        # ``weight_reuse_rows`` rows share one streaming pass: the batched
+        # cohort engine multicasts a weight tile to every lockstep row, so its
+        # per-row streaming cost shrinks by the reuse factor.  The default of
+        # 1 is the paper's no-input-batching appliance, where every row
+        # re-streams the full weight matrix from HBM.
+        stream_per_row = (
+            weight_bytes_per_row / bytes_per_cycle / instruction.weight_reuse_rows
+        )
 
         per_row = max(compute_per_row, stream_per_row)
         occupancy = instruction.rows * per_row + self.calibration.matrix_issue_cycles

@@ -125,6 +125,8 @@ class DFXCompiler:
         self._embedding_cache: dict[int, Program] = {}
         self._lm_head_cache: Program | None = None
         self._decoder_step_cache: Program | None = None
+        self._batched_step_cache: dict[tuple[int, int], Program] = {}
+        self._batched_lm_head_cache: dict[int, Program] = {}
         #: Number of *uncached* compilations per program key; tests assert the
         #: hot path compiles each distinct shape at most once.
         self.compile_counts: Counter[str] = Counter()
@@ -311,8 +313,38 @@ class DFXCompiler:
             )
         return self._decoder_step_cache
 
+    def compile_batched_decoder_step(self, batch: int, past_length: int) -> Program:
+        """Decoder layer for one lockstep cohort decode step (timing model).
+
+        Prices ``batch`` concurrent single-row generation steps executed as
+        one cohort: every matrix/vector instruction carries ``batch`` rows,
+        the shared layer weights are streamed once and multicast to all rows
+        (``weight_reuse_rows=batch``), while the per-stream KV operands keep
+        per-row streaming (each stream reads its own cache).  Shapes are exact
+        per step, so — like :meth:`compile_decoder_layer` — this is keyed on
+        ``(batch, past_length)``.  The functional batched engine does not
+        execute these programs; it runs the regular (per-stream-shaped)
+        programs in batched linking mode.
+        """
+        if batch <= 0:
+            raise CompilationError(f"batch must be positive, got {batch}")
+        if past_length < 0:
+            raise CompilationError(f"past_length must be non-negative, got {past_length}")
+        if batch == 1:
+            # A one-stream cohort is exactly the analytic per-step program.
+            return self.compile_decoder_layer(1, past_length)
+        key = (batch, past_length)
+        cached = self._batched_step_cache.get(key)
+        if cached is not None:
+            return cached
+        program = self._build_decoder_layer(
+            rows=1, past_length=past_length, generation_step=True, batch=batch
+        )
+        self._batched_step_cache[key] = program
+        return program
+
     def _build_decoder_layer(
-        self, rows: int, past_length: int, generation_step: bool
+        self, rows: int, past_length: int, generation_step: bool, batch: int = 1
     ) -> Program:
         """Uncached decoder-layer construction (see the public wrappers)."""
         config = self.config
@@ -323,16 +355,21 @@ class DFXCompiler:
         local_heads = partition.num_heads
         qkv_dim = partition.qkv_output_dim
         scale = 1.0 / math.sqrt(head_dim)
+        total_rows = rows * batch
 
-        name = (
-            f"decoder-step[device={self.device_id}]"
-            if generation_step
-            else f"decoder-layer[device={self.device_id},rows={rows},past={past_length}]"
-        )
+        if batch > 1:
+            name = (
+                f"batched-step[device={self.device_id},batch={batch},"
+                f"past={past_length}]"
+            )
+        elif generation_step:
+            name = f"decoder-step[device={self.device_id}]"
+        else:
+            name = f"decoder-layer[device={self.device_id},rows={rows},past={past_length}]"
         self.compile_counts[name] += 1
         program = Program(
             name=name,
-            rows=rows,
+            rows=total_rows,
             past_length=past_length,
             inputs=("hidden",),
             outputs=("hidden_out",),
@@ -340,7 +377,9 @@ class DFXCompiler:
 
         # ---- LayerNorm 1 -----------------------------------------------------
         program.extend(
-            self._layer_norm("ln1", "hidden", "lnorm1", "ln1_gamma", "ln1_beta", rows)
+            self._layer_norm(
+                "ln1", "hidden", "lnorm1", "ln1_gamma", "ln1_beta", total_rows
+            )
         )
 
         # ---- Self-attention: QKV projections (Value first, Sec. V-B) --------
@@ -358,9 +397,10 @@ class DFXCompiler:
                     input_operand="lnorm1",
                     weight_operand=weight,
                     bias_operand=bias,
-                    rows=rows,
+                    rows=total_rows,
                     in_dim=emb,
                     out_dim=qkv_dim,
+                    weight_reuse_rows=batch,
                     tag=PHASE_SELF_ATTENTION,
                     comment=f"Conv1D for {label}",
                 )
@@ -373,7 +413,7 @@ class DFXCompiler:
                             opcode=DMAOpcode.STORE_KV,
                             dst=cache_name(local_head),
                             src=destination,
-                            size_bytes=rows * head_dim * FP16_BYTES,
+                            size_bytes=total_rows * head_dim * FP16_BYTES,
                             memory=MemorySpace.HBM,
                             col_offset=local_head * head_dim,
                             col_count=head_dim,
@@ -393,7 +433,9 @@ class DFXCompiler:
                     dst=score,
                     input_operand="query_local",
                     weight_operand=kv_key_buffer(local_head),
-                    rows=rows,
+                    # Each stream reads its *own* cached keys, so the batched
+                    # cohort gets no weight reuse here (weight_reuse_rows=1).
+                    rows=total_rows,
                     in_dim=head_dim,
                     out_dim=kv_len,
                     # A single query row attends to every cached key, so the
@@ -411,7 +453,7 @@ class DFXCompiler:
             )
             program.extend(
                 self._softmax(f"softmax.h{local_head}", score, score_max, probs,
-                              rows, kv_len)
+                              total_rows, kv_len)
             )
             program.append(
                 MatrixInstruction(
@@ -419,7 +461,7 @@ class DFXCompiler:
                     dst="attn_local",
                     input_operand=probs,
                     weight_operand=kv_value_buffer(local_head),
-                    rows=rows,
+                    rows=total_rows,
                     in_dim=kv_len,
                     out_dim=head_dim,
                     dst_col_offset=local_head * head_dim,
@@ -430,7 +472,7 @@ class DFXCompiler:
             )
 
         # ---- Sync 1: gather attention-head outputs ---------------------------
-        program.append(self._sync("attn_local", "attn_full", emb, rows))
+        program.append(self._sync("attn_local", "attn_full", emb, total_rows))
 
         # ---- Attention output projection + Sync 2 ----------------------------
         program.append(
@@ -444,25 +486,28 @@ class DFXCompiler:
                 input_operand="attn_full",
                 weight_operand="w_attn_proj",
                 bias_operand="b_attn_proj",
-                rows=rows,
+                rows=total_rows,
                 in_dim=emb,
                 out_dim=partition.attn_proj_output_dim,
+                weight_reuse_rows=batch,
                 tag=PHASE_SELF_ATTENTION,
                 comment="Conv1D for attention output",
             )
         )
-        program.append(self._sync("c_attn_local", "c_attn", emb, rows))
+        program.append(self._sync("c_attn_local", "c_attn", emb, total_rows))
 
         # ---- Residual 1 -------------------------------------------------------
         program.append(
             VectorInstruction(VectorOpcode.ADD, dst="resid1", src1="c_attn",
-                              src2="hidden", length=emb, rows=rows,
+                              src2="hidden", length=emb, rows=total_rows,
                               tag=PHASE_RESIDUAL)
         )
 
         # ---- LayerNorm 2 ------------------------------------------------------
         program.extend(
-            self._layer_norm("ln2", "resid1", "lnorm2", "ln2_gamma", "ln2_beta", rows)
+            self._layer_norm(
+                "ln2", "resid1", "lnorm2", "ln2_gamma", "ln2_beta", total_rows
+            )
         )
 
         # ---- Feed-forward network + Syncs 3 and 4 -----------------------------
@@ -477,15 +522,16 @@ class DFXCompiler:
                 input_operand="lnorm2",
                 weight_operand="w_ffn1",
                 bias_operand="b_ffn1",
-                rows=rows,
+                rows=total_rows,
                 in_dim=emb,
                 out_dim=partition.ffn1_output_dim,
+                weight_reuse_rows=batch,
                 apply_gelu=True,
                 tag=PHASE_FFN,
                 comment="Conv1D + GELU (FFN expand)",
             )
         )
-        program.append(self._sync("ffn1_local", "ffn1", ffn_dim, rows))
+        program.append(self._sync("ffn1_local", "ffn1", ffn_dim, total_rows))
 
         program.append(
             self._weight_load("w_ffn2", ffn_dim * partition.ffn2_output_dim, PHASE_FFN)
@@ -497,19 +543,20 @@ class DFXCompiler:
                 input_operand="ffn1",
                 weight_operand="w_ffn2",
                 bias_operand="b_ffn2",
-                rows=rows,
+                rows=total_rows,
                 in_dim=ffn_dim,
                 out_dim=partition.ffn2_output_dim,
+                weight_reuse_rows=batch,
                 tag=PHASE_FFN,
                 comment="Conv1D (FFN contract)",
             )
         )
-        program.append(self._sync("ffn2_local", "ffn2", emb, rows))
+        program.append(self._sync("ffn2_local", "ffn2", emb, total_rows))
 
         # ---- Residual 2 --------------------------------------------------------
         program.append(
             VectorInstruction(VectorOpcode.ADD, dst="hidden_out", src1="ffn2",
-                              src2="resid1", length=emb, rows=rows,
+                              src2="resid1", length=emb, rows=total_rows,
                               tag=PHASE_RESIDUAL)
         )
         return program
@@ -570,6 +617,71 @@ class DFXCompiler:
             )
         )
         self._lm_head_cache = program
+        return program
+
+    def compile_batched_lm_head(self, batch: int) -> Program:
+        """LM head for a lockstep cohort: one WTE stream scores ``batch`` rows.
+
+        Each stream contributes its last hidden row; the device streams its
+        WTE slice once and multicasts it across the cohort
+        (``weight_reuse_rows=batch``).  ``batch == 1`` returns the regular
+        :meth:`compile_lm_head` program.
+        """
+        if batch <= 0:
+            raise CompilationError(f"batch must be positive, got {batch}")
+        if batch == 1:
+            return self.compile_lm_head()
+        cached = self._batched_lm_head_cache.get(batch)
+        if cached is not None:
+            return cached
+        name = f"batched-lm-head[device={self.device_id},batch={batch}]"
+        self.compile_counts[name] += 1
+        emb = self.config.n_embd
+        vocab = self.config.vocab_size
+        program = Program(
+            name=name,
+            rows=batch,
+            inputs=("hidden_last",),
+            outputs=("logits",),
+        )
+        program.extend(
+            self._layer_norm("ln_f", "hidden_last", "final_norm",
+                             "ln_f_gamma", "ln_f_beta", rows=batch,
+                             tag=PHASE_LM_HEAD)
+        )
+        program.append(
+            self._weight_load("wte_part", self.partition.vocab_rows * emb, PHASE_LM_HEAD)
+        )
+        program.append(
+            MatrixInstruction(
+                MatrixOpcode.MM,
+                dst="logits_local",
+                input_operand="final_norm",
+                weight_operand="wte_part",
+                rows=batch,
+                in_dim=emb,
+                out_dim=self.partition.vocab_rows,
+                transpose_weight=True,
+                apply_redu_max=True,
+                redu_max_dst="logits_local_max",
+                weight_reuse_rows=batch,
+                tag=PHASE_LM_HEAD,
+                comment="logits against the device's WTE slice, all streams",
+            )
+        )
+        program.append(self._sync("logits_local", "logits", vocab, rows=batch))
+        program.append(
+            DMAInstruction(
+                opcode=DMAOpcode.STORE_OUTPUT,
+                dst="output_token",
+                src="logits",
+                size_bytes=4 * batch,
+                memory=MemorySpace.DDR,
+                tag=PHASE_LM_HEAD,
+                comment="write the selected token ids back to DDR",
+            )
+        )
+        self._batched_lm_head_cache[batch] = program
         return program
 
     # ------------------------------------------------------------- full token

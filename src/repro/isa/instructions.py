@@ -84,6 +84,13 @@ class MatrixInstruction(Instruction):
         dst_col_offset / dst_total_cols: Column window of the destination
             written (used by the SFU vectorizer to concatenate head outputs).
         weight_space: Memory space the weight operand is streamed from.
+        weight_reuse_rows: Rows that share one streaming pass of the weight
+            tiles.  The paper's appliance has no input batching, so every row
+            re-streams the weights (``1``, the default, Sec. V-B).  The
+            batched cohort engine multicasts one weight stream to all rows of
+            a lockstep batch, which its timing programs express by setting
+            this to the batch size; per-stream operands (the KV caches) keep
+            ``1`` because each stream reads distinct cache rows.
     """
 
     opcode: MatrixOpcode
@@ -106,10 +113,16 @@ class MatrixInstruction(Instruction):
     dst_col_offset: int = 0
     dst_total_cols: int | None = None
     weight_space: MemorySpace = MemorySpace.HBM
+    weight_reuse_rows: int = 1
 
     def __post_init__(self) -> None:
         if self.rows <= 0:
             raise ProgramValidationError(f"rows must be positive, got {self.rows}")
+        if self.weight_reuse_rows < 1 or self.rows % self.weight_reuse_rows != 0:
+            raise ProgramValidationError(
+                f"weight_reuse_rows must divide rows, got "
+                f"{self.weight_reuse_rows} for {self.rows} rows"
+            )
         if self.in_dim <= 0 or self.out_dim <= 0:
             raise ProgramValidationError(
                 f"matrix instruction needs positive dims, got {self.in_dim}x{self.out_dim}"

@@ -55,6 +55,35 @@ class RuntimeGeneration:
         return self.timing.tokens_per_second
 
 
+@dataclass
+class RuntimeBatchGeneration:
+    """Result of one batched runtime call: per-stream tokens + cohort cost.
+
+    All streams execute as lockstep cohorts on the batched functional engine,
+    so the batch has one wall clock (the cohort's) rather than per-stream
+    latencies.  ``latency_s`` prices the *dominant* request shape at the full
+    batch size — the standard static-batching bound.
+    """
+
+    input_token_ids: list[list[int]]
+    output_token_ids: list[list[int]]
+    batch_size: int
+    workload: Workload
+    latency_s: float
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Generated tokens summed over all streams."""
+        return sum(len(tokens) for tokens in self.output_token_ids)
+
+    @property
+    def aggregate_tokens_per_second(self) -> float:
+        """Batch-level generation throughput (all streams together)."""
+        if self.latency_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.latency_s
+
+
 class DFXRuntime:
     """Text generation on a simulated DFX cluster, with timing attached.
 
@@ -93,6 +122,7 @@ class DFXRuntime:
             check_capacity=False,
         )
         self._simulator: DFXFunctionalSimulator | None = None
+        self._batched_simulator: DFXFunctionalSimulator | None = None
 
     # ---------------------------------------------------------------- internals
     def _fresh_simulator(self) -> DFXFunctionalSimulator:
@@ -100,6 +130,18 @@ class DFXRuntime:
         return DFXFunctionalSimulator(
             self.weights, num_devices=self.num_devices, numerics=self.numerics
         )
+
+    def _shared_batched_simulator(self) -> DFXFunctionalSimulator:
+        """The persistent simulator behind batched calls.
+
+        Batched sessions keep their KV state in slot arenas that every new
+        session clears and recycles, so one simulator serves all batched
+        requests — weights, compiled programs, and arena buffers stay warm
+        across calls.
+        """
+        if self._batched_simulator is None:
+            self._batched_simulator = self._fresh_simulator()
+        return self._batched_simulator
 
     # ------------------------------------------------------------------ public
     def generate(
@@ -128,6 +170,48 @@ class DFXRuntime:
         generation = self.generate(input_ids, max_new_tokens)
         generation.text = self.tokenizer.decode(generation.output_token_ids)
         return generation
+
+    def generate_batch(
+        self,
+        prompts: list[list[int]],
+        max_new_tokens: int | list[int],
+    ) -> RuntimeBatchGeneration:
+        """Generate many streams concurrently through the batched engine.
+
+        Per-stream outputs are bit-identical to calling :meth:`generate`
+        stream by stream; the attached cost is the lockstep cohort's wall
+        clock at the dominant request shape.
+        """
+        if not prompts:
+            raise ExecutionError("prompts must not be empty")
+        if any(not prompt for prompt in prompts):
+            raise ExecutionError("input_token_ids must not be empty")
+        budgets = (
+            [max_new_tokens] * len(prompts)
+            if isinstance(max_new_tokens, int)
+            else list(max_new_tokens)
+        )
+        if len(budgets) != len(prompts):
+            raise ExecutionError(
+                f"{len(budgets)} budgets for {len(prompts)} prompts"
+            )
+        if any(budget <= 0 for budget in budgets):
+            raise ExecutionError("max_new_tokens must be positive")
+        outputs = self._shared_batched_simulator().generate_batch(
+            [list(prompt) for prompt in prompts], budgets
+        )
+        workload = Workload(
+            input_tokens=max(len(prompt) for prompt in prompts),
+            output_tokens=max(budgets),
+        )
+        latency_s = self.appliance.batched_request_seconds(workload, len(prompts))
+        return RuntimeBatchGeneration(
+            input_token_ids=[list(prompt) for prompt in prompts],
+            output_token_ids=outputs,
+            batch_size=len(prompts),
+            workload=workload,
+            latency_s=latency_s,
+        )
 
     def estimate_only(self, workload: Workload) -> InferenceResult:
         """Timing estimate without functional execution (any model size)."""

@@ -245,6 +245,66 @@ class TestBackendContract:
         assert report.num_requests == len(trace)
 
 
+class TestDFXSimBatchingHonesty:
+    """dfx-sim really batches; the analytic dfx backends really don't."""
+
+    def test_dfx_sim_declares_batching(self, backends):
+        from repro.backends import UNBOUNDED_BATCH_SIZE
+
+        capabilities = backends["dfx-sim"].capabilities()
+        assert capabilities.supports_batching
+        assert capabilities.max_batch_size == UNBOUNDED_BATCH_SIZE
+        assert capabilities.generates_tokens
+
+    def test_analytic_dfx_backends_stay_unbatched(self, backends):
+        # The paper's appliance serves unbatched (Sec. III-A); only the
+        # functional-sim backend grows the batched engine.
+        for name in ("dfx", "dfx-4u"):
+            capabilities = backends[name].capabilities()
+            assert not capabilities.supports_batching
+            assert capabilities.max_batch_size == 1
+
+    def test_batch_priced_by_cohort_model_not_singleton(self, backends):
+        backend = backends["dfx-sim"]
+        single = backend.estimate(WORKLOAD)
+        for size in (2, 4, 8):
+            batch = backend.batched_estimate([WORKLOAD] * size)
+            # Honest cohort pricing: slower than one request (per-stream KV
+            # work is not amortized) but far cheaper than `size` sequential
+            # requests (the weight stream is shared).
+            assert single.latency_s < batch.latency_s < size * single.latency_s
+            expected_s = backend._appliance.batched_request_seconds(WORKLOAD, size)
+            assert batch.latency_s == pytest.approx(expected_s)
+
+    def test_batched_energy_is_power_times_wall_clock(self, backends):
+        backend = backends["dfx-sim"]
+        single = backend.estimate(WORKLOAD)
+        batch = backend.batched_estimate([WORKLOAD] * 4)
+        power_watts = single.total_power_watts
+        assert batch.energy_joules == pytest.approx(power_watts * batch.latency_s)
+
+    def test_generate_batch_bit_identical_to_sequential(self, backends):
+        backend = backends["dfx-sim"]
+        prompts = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        batched = backend.generate_batch(prompts, 4)
+        assert batched.batch_size == 3
+        assert batched.latency_s > 0
+        assert batched.aggregate_tokens_per_second > 0
+        sequential = [
+            backend.generate(prompt, 4).output_token_ids for prompt in prompts
+        ]
+        assert batched.output_token_ids == sequential
+
+    def test_batched_server_runs_dfx_sim_end_to_end(self, backends):
+        report = ApplianceServer(
+            backends["dfx-sim"],
+            batch_policy=DynamicBatching(4, timeout_s=0.5),
+            max_batch_size=4,
+        ).serve(poisson_trace(3.0, 20.0, seed=5))
+        assert report.num_requests > 0
+        assert max(report.batch_size_distribution()) > 1
+
+
 class TestServingEquivalence:
     """Oracle/server/fleet behavior is bit-identical through the adapters."""
 

@@ -177,3 +177,95 @@ def test_committed_baseline_is_well_formed():
     # The PR that introduced the fast path measured >=3x over the
     # pre-optimization engine; the committed baseline records it.
     assert functional_64["speedup"] >= 3.0
+
+
+# --------------------------------------------------------------------- batched
+def _run_batched(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--config", "tiny", "--tokens", "4",
+         "--repeats", "1", "--num-devices", "2", "--batch", "1", "2", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+def _synthetic_batched_baseline(path: Path, aggregates: dict[int, float],
+                                scalings: dict[int, float] | None = None) -> None:
+    entries = []
+    for batch, rate in aggregates.items():
+        entry = {"batch": batch, "new_tokens": 4, "seconds": 1.0,
+                 "aggregate_tokens_per_second": rate}
+        if scalings and batch in scalings:
+            entry["scaling_vs_single"] = scalings[batch]
+        entries.append(entry)
+    path.write_text(json.dumps({
+        "schema": 1, "config": "tiny", "mode": "batched", "entries": entries,
+    }))
+
+
+def test_batched_mode_writes_valid_report(tmp_path):
+    output = tmp_path / "batched.json"
+    result = _run_batched("--output", str(output))
+    assert result.returncode == 0, result.stderr
+    report = json.loads(output.read_text())
+    assert report["mode"] == "batched"
+    by_batch = {entry["batch"]: entry for entry in report["entries"]}
+    assert set(by_batch) == {1, 2}
+    assert all(e["aggregate_tokens_per_second"] > 0 for e in by_batch.values())
+    assert by_batch[1]["scaling_vs_single"] == 1.0
+    assert by_batch[2]["scaling_vs_single"] > 0
+
+
+def test_batched_check_passes_against_low_floor(tmp_path):
+    baseline = tmp_path / "batched.json"
+    _synthetic_batched_baseline(baseline, {1: 0.001, 2: 0.001},
+                                scalings={1: 1.0, 2: 0.0001})
+    result = _run_batched("--check", "--check-ratio", "--output", str(baseline))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "batched perf check OK" in result.stdout
+
+
+def test_batched_check_fails_on_absolute_regression(tmp_path):
+    baseline = tmp_path / "batched.json"
+    _synthetic_batched_baseline(baseline, {1: 1e12, 2: 1e12})
+    result = _run_batched("--check", "--output", str(baseline))
+    assert result.returncode == 1
+    assert "BATCHED PERF REGRESSION DETECTED" in result.stdout
+
+
+def test_batched_check_fails_on_scaling_regression(tmp_path):
+    # Absolute floors trivially cleared, but an impossible committed
+    # batched/single scaling ratio must still fail the gate.
+    baseline = tmp_path / "batched.json"
+    _synthetic_batched_baseline(baseline, {1: 0.001, 2: 0.001},
+                                scalings={1: 1.0, 2: 1e6})
+    result = _run_batched("--check", "--check-ratio", "--output", str(baseline))
+    assert result.returncode == 1
+    assert "scaling" in result.stdout
+    assert "BATCHED PERF REGRESSION DETECTED" in result.stdout
+
+
+def test_batched_check_fails_without_baseline(tmp_path):
+    result = _run_batched("--check", "--output", str(tmp_path / "missing.json"))
+    assert result.returncode == 1
+
+
+def test_committed_batched_baseline_is_well_formed():
+    # The committed batched baseline must record the batching win the PR
+    # claims: batch-8 aggregate throughput at least 2x the committed
+    # single-stream functional-sim rate at the same generation length.
+    report = json.loads((REPO_ROOT / "BENCH_hotpath_batched.json").read_text())
+    assert report["schema"] == 1
+    assert report["mode"] == "batched"
+    by_batch = {entry["batch"]: entry for entry in report["entries"]}
+    assert {1, 2, 4, 8} <= set(by_batch)
+    single = json.loads((REPO_ROOT / "BENCH_hotpath.json").read_text())
+    single_rate = next(
+        entry["tokens_per_second"] for entry in single["entries"]
+        if entry["engine"] == "functional-sim"
+        and entry["new_tokens"] == by_batch[8]["new_tokens"]
+    )
+    assert by_batch[8]["aggregate_tokens_per_second"] >= 2.0 * single_rate
+    assert by_batch[8]["scaling_vs_single"] >= 2.0

@@ -104,3 +104,33 @@ class TestBreakdownAndEfficiency:
 
     def test_per_token_generation_seconds_helper(self, dfx_1_5b_4dev):
         assert dfx_1_5b_4dev.per_token_generation_seconds(64) > 0
+
+
+class TestBatchedRequestSeconds:
+    def test_batch_one_matches_run_exactly(self, dfx_1_5b_4dev):
+        workload = Workload(32, 16)
+        single = dfx_1_5b_4dev.run(workload).latency_s
+        batched = dfx_1_5b_4dev.batched_request_seconds(workload, batch=1)
+        assert batched == pytest.approx(single, rel=1e-12)
+
+    def test_cohort_latency_bounded_by_sequential(self, dfx_1_5b_4dev):
+        workload = Workload(32, 16)
+        single = dfx_1_5b_4dev.run(workload).latency_s
+        for batch in (2, 4, 8):
+            cohort = dfx_1_5b_4dev.batched_request_seconds(workload, batch)
+            assert single < cohort < batch * single
+
+    def test_aggregate_throughput_grows_with_batch(self, dfx_1_5b_4dev):
+        workload = Workload(32, 16)
+        tokens = workload.output_tokens
+        previous = tokens / dfx_1_5b_4dev.run(workload).latency_s
+        for batch in (2, 4, 8):
+            seconds = dfx_1_5b_4dev.batched_request_seconds(workload, batch)
+            aggregate = batch * tokens / seconds
+            assert aggregate > previous
+            previous = aggregate
+
+    def test_context_window_still_enforced(self, dfx_1_5b_4dev):
+        over = Workload(GPT2_1_5B.n_positions, 1)
+        with pytest.raises(ConfigurationError):
+            dfx_1_5b_4dev.batched_request_seconds(over, batch=2)

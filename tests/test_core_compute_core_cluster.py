@@ -90,3 +90,34 @@ class TestCluster:
         cluster = DFXCluster(GPT2_345M, num_devices=2)
         per_device = cluster.token_step(1, 4).flops_per_device
         assert cluster.cluster_flops_per_step(1, 4) == pytest.approx(2 * per_device)
+
+
+class TestBatchedTokenStep:
+    def test_batch_one_is_exactly_the_single_step(self, core_1_5b):
+        single = core_1_5b.token_step(rows=1, past_length=16)
+        batched = core_1_5b.batched_token_step(batch=1, past_length=16)
+        assert batched.timing.total_cycles == single.timing.total_cycles
+        assert batched.flops_per_device == single.flops_per_device
+
+    def test_cohort_step_amortizes_the_weight_stream(self, core_1_5b):
+        single = core_1_5b.token_step(rows=1, past_length=16).timing.total_cycles
+        for batch in (2, 4, 8):
+            cohort = core_1_5b.batched_token_step(batch, 16).timing.total_cycles
+            # One cohort step costs more than one stream's step but far less
+            # than running the batch sequentially.
+            assert single < cohort < batch * single
+
+    def test_per_stream_kv_work_still_scales_with_batch(self, core_1_5b):
+        shallow = core_1_5b.batched_token_step(8, past_length=8)
+        deep = core_1_5b.batched_token_step(8, past_length=512)
+        assert deep.timing.total_cycles > shallow.timing.total_cycles
+
+    def test_cluster_delegates_batched_steps(self):
+        plan_config = GPT2_345M
+        cluster = DFXCluster(plan_config, num_devices=4)
+        step = cluster.batched_token_step(4, 16)
+        assert step.rows == 4
+        assert step.timing.total_cycles == (
+            cluster.core.batched_token_step(4, 16).timing.total_cycles
+        )
+        assert cluster.batched_token_step_seconds(4, 16) > 0

@@ -226,6 +226,120 @@ class TestScatterOwnership:
         assert core.registers["attn"] is not foreign
 
 
+class TestBatchedEngine:
+    """The batched multi-stream engine vs the sequential oracle."""
+
+    PROMPTS = [[1, 2, 3], [4, 5], [6, 7, 8, 9], [10, 11], [3, 1, 4]]
+    BUDGETS = [5, 3, 7, 1, 4]
+
+    def _sequential(self, tiny_weights, prompts, budgets):
+        outputs = []
+        for prompt, budget in zip(prompts, budgets):
+            fresh = DFXFunctionalSimulator(
+                tiny_weights, num_devices=2, numerics=FP16_DFX
+            )
+            outputs.append(fresh.generate(list(prompt), budget))
+        return outputs
+
+    def test_ragged_batch_bit_identical_to_sequential(self, simulator, tiny_weights):
+        batched = simulator.generate_batch(self.PROMPTS, self.BUDGETS)
+        assert batched == self._sequential(tiny_weights, self.PROMPTS, self.BUDGETS)
+
+    def test_batch_of_one_matches_unbatched(self, simulator, tiny_weights):
+        batched = simulator.generate_batch([[9, 10, 11]], 6)
+        fresh = DFXFunctionalSimulator(tiny_weights, num_devices=2, numerics=FP16_DFX)
+        assert batched == [fresh.generate([9, 10, 11], 6)]
+
+    def test_batch_of_one_compiles_no_batched_programs(self, simulator):
+        simulator.generate_batch([[1, 2, 3]], 4)
+        batched_names = [
+            name for name in simulator.compiler.compile_counts
+            if name.startswith("batched-")
+        ]
+        assert not batched_names, batched_names
+
+    def test_cohort_join_mid_decode(self, simulator, tiny_weights):
+        session = simulator.batched_session()
+        first = session.admit([1, 2, 3], 6)
+        second = session.admit([7, 8, 9], 6)
+        session.step()  # prefill both as one cohort
+        session.step()
+        late = session.admit([4, 5, 6], 4)
+        session.step()  # late stream prefills while the cohort decodes
+        # Equal prompt lengths mean equal pasts two steps later: one cohort.
+        while session.step():
+            if len(session.cohort_sizes) == 1 and session.active_streams == 3:
+                break
+        session.run()
+        expected = self._sequential(
+            tiny_weights, [[1, 2, 3], [7, 8, 9], [4, 5, 6]], [6, 6, 4]
+        )
+        assert [session.outputs(s) for s in (first, second, late)] == expected
+
+    def test_cohorts_merge_when_pasts_equalize(self, simulator):
+        session = simulator.batched_session()
+        session.admit([1, 2], 8)
+        session.admit([3, 4], 8)
+        session.step()  # cohort of 2 prefills at past 2
+        # A 3-token prompt prefills at past 3 — exactly where the existing
+        # cohort lands after this step's decode, so the two must merge.
+        session.admit([5, 6, 7], 6)
+        session.step()
+        assert session.active_streams == 3
+        assert session.cohort_sizes == [3]
+
+    def test_randomized_sweep_bit_identical(self, tiny_weights, rng):
+        simulator = DFXFunctionalSimulator(
+            tiny_weights, num_devices=2, numerics=FP16_DFX
+        )
+        for _ in range(3):
+            count = int(rng.integers(2, 6))
+            prompts = [
+                rng.integers(
+                    0, GPT2_TEST_TINY.vocab_size, size=int(rng.integers(1, 7))
+                ).tolist()
+                for _ in range(count)
+            ]
+            budgets = [int(rng.integers(1, 8)) for _ in range(count)]
+            batched = simulator.generate_batch(prompts, budgets)
+            assert batched == self._sequential(tiny_weights, prompts, budgets)
+
+    def test_arena_buffers_reused_across_sessions(self, tiny_weights):
+        simulator = DFXFunctionalSimulator(
+            tiny_weights, num_devices=2, numerics=FP16_DFX
+        )
+        first = simulator.generate_batch(self.PROMPTS, self.BUDGETS)
+        state = simulator._batched
+        arenas_before = [id(arena.data) for arena in state.pool.arenas]
+        bytes_before = simulator.batched_kv_memory_bytes
+        again = simulator.generate_batch(self.PROMPTS, self.BUDGETS)
+        assert again == first
+        # Same-shaped rerun fits the warm arenas: no reallocation at all.
+        assert [id(arena.data) for arena in state.pool.arenas] == arenas_before
+        assert simulator.batched_kv_memory_bytes == bytes_before
+
+    def test_reclaim_releases_arena_memory_and_stays_correct(self, tiny_weights):
+        simulator = DFXFunctionalSimulator(
+            tiny_weights, num_devices=2, numerics=FP16_DFX
+        )
+        first = simulator.generate_batch(self.PROMPTS, self.BUDGETS)
+        assert simulator.batched_kv_memory_bytes > 0
+        simulator.reclaim_batched_kv()
+        assert simulator.batched_kv_memory_bytes == 0
+        assert simulator.generate_batch(self.PROMPTS, self.BUDGETS) == first
+
+    def test_batched_engine_leaves_unbatched_kv_untouched(self, tiny_weights):
+        simulator = DFXFunctionalSimulator(
+            tiny_weights, num_devices=2, numerics=FP16_DFX
+        )
+        sequential = simulator.generate([5, 6, 7], 4)
+        length_before = simulator.kv_cache_length
+        simulator.generate_batch(self.PROMPTS, self.BUDGETS)
+        assert simulator.kv_cache_length == length_before
+        simulator.reset_cache()
+        assert simulator.generate([5, 6, 7], 4) == sequential
+
+
 class TestLinkedProgramStructure:
     def test_link_is_memoized_per_numerics_and_sharing_key(self, simulator):
         program = simulator.compiler.compile_decoder_step()

@@ -146,3 +146,46 @@ class TestEmbeddingAndLMHead:
         plan = build_partition_plan(GPT2_TEST_TINY, 2)
         with pytest.raises(CompilationError):
             DFXCompiler(GPT2_1_5B, plan, device_id=0)
+
+
+class TestBatchedPrograms:
+    def test_batch_one_delegates_to_unbatched_programs(self, compiler_tiny):
+        assert (compiler_tiny.compile_batched_decoder_step(1, 8)
+                is compiler_tiny.compile_decoder_layer(1, 8))
+        assert compiler_tiny.compile_batched_lm_head(1) is compiler_tiny.compile_lm_head()
+
+    def test_batched_programs_are_memoized(self, compiler_tiny):
+        assert (compiler_tiny.compile_batched_decoder_step(4, 8)
+                is compiler_tiny.compile_batched_decoder_step(4, 8))
+        assert (compiler_tiny.compile_batched_lm_head(4)
+                is compiler_tiny.compile_batched_lm_head(4))
+
+    def test_shared_weights_multicast_but_kv_streams_do_not(self, compiler_tiny):
+        # The six model matmuls stream their weights once per cohort step
+        # (weight reuse across the batch rows); the per-stream KV matmuls
+        # cannot share anything, which is exactly the paper's Sec. III-A
+        # argument for why batching helps less as the context grows.
+        program = compiler_tiny.compile_batched_decoder_step(4, past_length=8)
+        for instruction in program.matrix_instructions():
+            assert instruction.rows == 4
+            if instruction.weight_operand.startswith("kv."):
+                assert instruction.weight_reuse_rows == 1
+            else:
+                assert instruction.weight_reuse_rows == 4
+
+    def test_batched_lm_head_scores_all_streams_in_one_pass(self, compiler_tiny):
+        program = compiler_tiny.compile_batched_lm_head(4)
+        (head,) = program.matrix_instructions()
+        assert head.rows == 4
+        assert head.weight_reuse_rows == 4
+
+    def test_batched_layer_program_validates(self, compiler_tiny):
+        program = compiler_tiny.compile_batched_decoder_step(4, past_length=8)
+        validate_program(program)
+        assert program.sync_count() == 4
+
+    def test_invalid_batch_rejected(self, compiler_tiny):
+        with pytest.raises(CompilationError):
+            compiler_tiny.compile_batched_decoder_step(0, 8)
+        with pytest.raises(CompilationError):
+            compiler_tiny.compile_batched_lm_head(0)

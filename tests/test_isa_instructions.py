@@ -125,3 +125,24 @@ class TestRouterInstruction:
         sync = RouterInstruction(RouterOpcode.SYNC, dst="d", src="s",
                                  payload_elements=4, tag="synchronization")
         assert sync.tag == "synchronization"
+
+
+class TestWeightReuseRows:
+    def _mm(self, rows, reuse):
+        return MatrixInstruction(
+            opcode=MatrixOpcode.MM, dst="out", input_operand="x",
+            weight_operand="w", rows=rows, in_dim=4, out_dim=4,
+            weight_reuse_rows=reuse,
+        )
+
+    def test_defaults_to_no_reuse(self):
+        assert self._mm(rows=3, reuse=1).weight_reuse_rows == 1
+
+    def test_reuse_must_divide_rows(self):
+        self._mm(rows=8, reuse=4)
+        with pytest.raises(ProgramValidationError):
+            self._mm(rows=8, reuse=3)
+
+    def test_reuse_must_be_positive(self):
+        with pytest.raises(ProgramValidationError):
+            self._mm(rows=4, reuse=0)
