@@ -54,6 +54,8 @@ from repro.serving import (
     DynamicBatching,
     FaultSchedule,
     FleetMember,
+    NetworkLink,
+    NetworkModel,
     PlatformModel,
     RetryPolicy,
     ServingReport,
@@ -715,6 +717,136 @@ def run_fault_campaign(
         mtbf_s=mtbf_s,
         mttr_s=mttr_s,
         reports=reports,
+    )
+
+
+# --------------------------------------------------- Serving (fleet topology)
+@dataclass(frozen=True)
+class FleetTopologyResult:
+    """One trace served by a multi-rack fleet, with and without network cost.
+
+    ``priced`` is the report under the real link parameters; ``baseline``
+    is the identical fleet and trace under a zero-cost network (bit-identical
+    to no network at all), so every difference between the two reports is
+    the network's doing.
+    """
+
+    racks: int
+    appliances_per_rack: int
+    link: NetworkLink
+    priced: ServingReport
+    baseline: ServingReport
+
+    @property
+    def cross_rack_p99_s(self) -> float:
+        """p99 response time of cross-rack-served requests under the network."""
+        return self.priced.cross_rack_response_percentile_s(99.0)
+
+    @property
+    def baseline_cross_rack_p99_s(self) -> float:
+        """Same members' p99 under the zero-cost network."""
+        return self.baseline.cross_rack_response_percentile_s(99.0)
+
+    @property
+    def cross_rack_latency_tax_s(self) -> float:
+        """How much the wire added to the cross-rack p99."""
+        return self.cross_rack_p99_s - self.baseline_cross_rack_p99_s
+
+    def summary_rows(self) -> list[tuple[str, float, float]]:
+        """(metric, priced, zero-cost-baseline) rows for printing."""
+        return [
+            (
+                "p99 response (s)",
+                self.priced.response_time_percentile_s(99.0),
+                self.baseline.response_time_percentile_s(99.0),
+            ),
+            (
+                "cross-rack p99 (s)",
+                self.cross_rack_p99_s,
+                self.baseline_cross_rack_p99_s,
+            ),
+            (
+                "mean transfer (s)",
+                self.priced.mean_transfer_time_s,
+                self.baseline.mean_transfer_time_s,
+            ),
+            (
+                "cross-rack dispatch fraction",
+                self.priced.cross_rack_dispatch_fraction,
+                self.baseline.cross_rack_dispatch_fraction,
+            ),
+        ]
+
+
+def run_fleet_topology_plan(
+    *,
+    racks: int = 2,
+    appliances_per_rack: int = 2,
+    backend: str | Backend | PlatformModel = "dfx",
+    config: GPT2Config = GPT2_1_5B,
+    num_devices: int | None = None,
+    arrival_rate_per_s: float = 0.8,
+    duration_s: float = 180.0,
+    mix: WorkloadMix = DATACENTER_MIX,
+    seed: int = 7,
+    scheduler: str = "fifo",
+    link_latency_s: float = 0.05,
+    link_bandwidth_bytes_per_s: float | None = 1.25e9,
+    bytes_per_token: float = 4.0,
+    retain_records: bool = True,
+) -> FleetTopologyResult:
+    """Serve one region's traffic on ``racks`` × ``appliances_per_rack``.
+
+    Builds a star topology — requests arrive at ``rack0`` and every other
+    rack hangs off it by one link with ``link_latency_s`` propagation delay
+    and ``link_bandwidth_bytes_per_s`` payload bandwidth (``None`` = free
+    serialization) — then serves the identical trace twice: once under
+    those link parameters and once under a zero-cost network.  The result's
+    ``cross_rack_latency_tax_s`` is the wire's contribution to the
+    off-rack p99, the number a region planner trades against rack count.
+    """
+    if racks < 1:
+        raise ConfigurationError("a topology plan needs at least one rack")
+    if appliances_per_rack < 1:
+        raise ConfigurationError("appliances_per_rack must be positive")
+    if isinstance(backend, str):
+        backend = _serving_backend(backend, config, num_devices)
+    members = [
+        FleetMember(f"rack{rack}-host{host}", backend)
+        for rack in range(racks)
+        for host in range(appliances_per_rack)
+    ]
+    placement = {
+        f"rack{rack}": tuple(
+            f"rack{rack}-host{host}" for host in range(appliances_per_rack)
+        )
+        for rack in range(racks)
+    }
+    link = NetworkLink(
+        latency_s=link_latency_s,
+        bandwidth_bytes_per_s=link_bandwidth_bytes_per_s,
+    )
+    trace = poisson_trace(arrival_rate_per_s, duration_s, mix, seed=seed)
+    reports = {}
+    for label, topology_link in (("priced", link), ("baseline", NetworkLink())):
+        fleet = ApplianceFleet(
+            members,
+            scheduler=scheduler,
+            network=NetworkModel.star(
+                placement,
+                ingress="rack0",
+                link=topology_link,
+                bytes_per_token=bytes_per_token,
+            ),
+            retain_records=retain_records,
+        )
+        reports[label] = fleet.serve(trace)
+    return FleetTopologyResult(
+        racks=racks,
+        appliances_per_rack=appliances_per_rack,
+        link=link,
+        priced=reports["priced"],
+        baseline=reports["baseline"],
     )
 
 

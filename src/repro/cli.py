@@ -22,7 +22,10 @@ Three subcommands cover the common entry points without writing any Python:
     availability, goodput, and failover columns.  ``--streaming`` generates
     the synthetic trace lazily and accounts the report online (quantile
     sketches instead of retained records), so million-request traces
-    (``--limit``) run in flat memory.
+    (``--limit``) run in flat memory.  ``--topology RxM`` serves the trace
+    on a fleet of R racks × M appliances behind one ingress rack, pricing
+    ``--link-latency-s``/``--link-gbps`` transfer into off-rack dispatches,
+    and the report grows transfer-time and cross-rack columns.
 
 Examples::
 
@@ -34,6 +37,7 @@ Examples::
     python -m repro.cli serve --backend dfx-4u --rate 1.0 --mtbf-s 40 --mttr-s 15
     python -m repro.cli serve --arrivals diurnal --rate 40 --duration 1e9 \
         --limit 1000000 --streaming --clusters 8
+    python -m repro.cli serve --topology 2x2 --rate 2.0 --link-latency-s 0.05
 """
 
 from __future__ import annotations
@@ -54,8 +58,12 @@ from repro.serving import (
     ARTICLE_MIX,
     CHATBOT_MIX,
     DATACENTER_MIX,
+    ApplianceFleet,
     ApplianceServer,
     FaultSchedule,
+    FleetMember,
+    NetworkLink,
+    NetworkModel,
     RetryPolicy,
     ServingReport,
     bursty_trace,
@@ -196,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--retry-max", type=int, default=3,
                               help="attempts per request killed by a fault, "
                                    "1 = fail immediately (default: 3)")
+    serve_parser.add_argument("--topology", metavar="RxM", default=None,
+                              help="serve a multi-rack fleet instead of one "
+                                   "appliance: R racks of M appliances each "
+                                   "(e.g. 2x2), requests arriving at rack0; "
+                                   "every other rack pays the --link-* "
+                                   "transfer cost")
+    serve_parser.add_argument("--link-latency-s", type=float, default=0.05,
+                              help="per-link one-way propagation latency in "
+                                   "seconds for --topology (default: 0.05)")
+    serve_parser.add_argument("--link-gbps", type=float, default=10.0,
+                              help="per-link bandwidth in Gbit/s for "
+                                   "--topology; 0 = free serialization "
+                                   "(default: 10)")
     return parser
 
 
@@ -248,6 +269,13 @@ def _print_serving_report(report: ServingReport, *, faults: bool = False) -> Non
         rows.append(["mean gather delay (s)", report.mean_batch_gather_delay_s])
     if report.has_slo_requests:
         rows.append(["SLO attainment", report.slo_attainment])
+    if report.cross_rack_members:
+        rows.append(["cross-rack dispatch fraction",
+                     report.cross_rack_dispatch_fraction])
+        rows.append(["mean transfer (s)", report.mean_transfer_time_s])
+        rows.append(["p99 transfer (s)", report.transfer_time_percentile_s(99)])
+        rows.append(["cross-rack p99 response (s)",
+                     report.cross_rack_response_percentile_s(99)])
     if faults or report.num_failed or report.num_retries or report.unit_downtime:
         rows.append(["availability", report.availability])
         rows.append(["goodput fraction", report.goodput_fraction])
@@ -324,17 +352,62 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"faults: poisson(mtbf={args.mtbf_s}s, {repair}, "
               f"seed={args.fault_seed}), retry_max={args.retry_max}")
 
-    server = ApplianceServer(
-        backend,
-        num_clusters=args.clusters,
-        scheduler=args.scheduler,
-        batch_policy=args.batch_policy,
-        max_batch_size=args.max_batch_size,
-        faults=faults,
-        retry_policy=retry_policy,
-        retain_records=not args.streaming,
-    )
-    _print_serving_report(server.serve(trace), faults=faults is not None)
+    if args.topology is not None:
+        try:
+            racks_text, _, per_rack_text = args.topology.lower().partition("x")
+            racks, per_rack = int(racks_text), int(per_rack_text)
+            if racks < 1 or per_rack < 1:
+                raise ValueError
+        except ValueError:
+            print(f"error: --topology must be RxM with positive integers "
+                  f"(e.g. 2x2), got {args.topology!r}", file=sys.stderr)
+            return 2
+        bandwidth = args.link_gbps * 1e9 / 8.0 if args.link_gbps > 0 else None
+        members = [
+            FleetMember(f"rack{rack}-host{host}", backend)
+            for rack in range(racks)
+            for host in range(per_rack)
+        ]
+        network = NetworkModel.star(
+            {
+                f"rack{rack}": tuple(
+                    f"rack{rack}-host{host}" for host in range(per_rack)
+                )
+                for rack in range(racks)
+            },
+            ingress="rack0",
+            link=NetworkLink(
+                latency_s=args.link_latency_s,
+                bandwidth_bytes_per_s=bandwidth,
+            ),
+        )
+        bandwidth_text = (
+            f"{args.link_gbps}Gbps" if bandwidth is not None else "free"
+        )
+        print(f"topology: {racks} rack(s) x {per_rack} appliance(s), "
+              f"ingress=rack0, link latency={args.link_latency_s}s, "
+              f"bandwidth={bandwidth_text}")
+        front_end = ApplianceFleet(
+            members,
+            scheduler=args.scheduler,
+            batch_policy=args.batch_policy,
+            faults=faults,
+            retry_policy=retry_policy,
+            network=network,
+            retain_records=not args.streaming,
+        )
+    else:
+        front_end = ApplianceServer(
+            backend,
+            num_clusters=args.clusters,
+            scheduler=args.scheduler,
+            batch_policy=args.batch_policy,
+            max_batch_size=args.max_batch_size,
+            faults=faults,
+            retry_policy=retry_policy,
+            retain_records=not args.streaming,
+        )
+    _print_serving_report(front_end.serve(trace), faults=faults is not None)
     return 0
 
 

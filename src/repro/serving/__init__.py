@@ -16,8 +16,8 @@ Layout (see the module docstrings for details):
   ``saturation_sweep`` and ``find_max_rate_under_slo`` capacity planning.
 * ``simulator``  — the discrete-event core shared by appliance and fleet.
 * ``schedulers`` — pluggable dispatch policies (FIFO / SJF / priority /
-  deadline); subclass ``SchedulingPolicy`` and register in ``SCHEDULERS``
-  to add one.
+  deadline / shape-aware batch gathering); subclass ``SchedulingPolicy``
+  and register in ``SCHEDULERS`` to add one.
 * ``batching``   — batch-formation policies (none / dynamic size-or-timeout /
   continuous decode slots, re-priced on occupancy change by default) and
   the backend-generic ``BackendBatchCostModel``; subclass
@@ -28,6 +28,9 @@ Layout (see the module docstrings for details):
   processes, link degradation), ``RetryPolicy`` for killed in-flight
   requests, and ``DegradedModePolicy`` load shedding while capacity is
   reduced.
+* ``network``    — rack/link topology over fleet members: ``NetworkModel``
+  prices prompt-ingress plus token-egress transfer into every off-rack
+  dispatch, and named links are fault targets (``Outage(link=...)``).
 """
 
 from repro.serving.batching import (
@@ -84,12 +87,14 @@ from repro.serving.server import (
     find_max_rate_under_slo,
     saturation_sweep,
 )
+from repro.serving.network import NetworkLink, NetworkModel
 from repro.serving.schedulers import (
     SCHEDULERS,
     DeadlineScheduler,
     FIFOScheduler,
     PriorityScheduler,
     SchedulingPolicy,
+    ShapeAwareScheduler,
     ShortestJobFirstScheduler,
     make_scheduler,
 )
@@ -144,11 +149,14 @@ __all__ = [
     "capacity_search",
     "find_max_rate_under_slo",
     "saturation_sweep",
+    "NetworkLink",
+    "NetworkModel",
     "SCHEDULERS",
     "DeadlineScheduler",
     "FIFOScheduler",
     "PriorityScheduler",
     "SchedulingPolicy",
+    "ShapeAwareScheduler",
     "ShortestJobFirstScheduler",
     "make_scheduler",
     "ServerUnit",

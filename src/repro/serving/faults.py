@@ -18,7 +18,12 @@ the serving layer responds while capacity is reduced.
     of that appliance goes down and comes back together);
   - link degradation (:class:`Degradation`) — a slowdown factor scaling a
     unit's or member's service times over a window, modelling a congested
-    or flapping inter-appliance link rather than a dead device.
+    or flapping inter-appliance link rather than a dead device;
+  - named-link faults — with a
+    :class:`~repro.serving.network.NetworkModel` in play, ``link=`` targets
+    resolve against the topology's link names: a link outage partitions the
+    rack behind it (no new dispatches; in-flight work completes), and a
+    link degradation stretches *transfer* times only.
 
 * :class:`RetryPolicy` — what happens to requests killed in flight: retry
   with exponential backoff up to ``max_attempts`` dispatches, under an
@@ -61,11 +66,26 @@ ABANDON_SHED = "degraded-shed"
 #: Compiled fault-event kinds, in intra-instant processing order: repairs
 #: and degradation ends apply before new failures and degradations, so a
 #: back-to-back repair/failure pair at one instant nets to the failure.
+#: Link events (named-link severs and degradations, resolved against units
+#: behind that link) follow the same repair-before-failure discipline.
 EVENT_UP = "up"
+EVENT_LINK_UP = "link-up"
 EVENT_UNSLOW = "unslow"
+EVENT_LINK_UNSLOW = "link-unslow"
 EVENT_SLOW = "slow"
+EVENT_LINK_SLOW = "link-slow"
 EVENT_DOWN = "down"
-_EVENT_ORDER = {EVENT_UP: 0, EVENT_UNSLOW: 1, EVENT_SLOW: 2, EVENT_DOWN: 3}
+EVENT_LINK_DOWN = "link-down"
+_EVENT_ORDER = {
+    EVENT_UP: 0,
+    EVENT_LINK_UP: 1,
+    EVENT_UNSLOW: 2,
+    EVENT_LINK_UNSLOW: 3,
+    EVENT_SLOW: 4,
+    EVENT_LINK_SLOW: 5,
+    EVENT_DOWN: 6,
+    EVENT_LINK_DOWN: 7,
+}
 
 #: Salt mixed into per-target RNG streams so a schedule seed never collides
 #: with a trace seed drawn from the same integer.
@@ -73,27 +93,38 @@ _PROCESS_SALT = 0xFA017
 
 
 def _validate_target(
-    what: str, unit_id: int | None, member: str | None
+    what: str,
+    unit_id: int | None,
+    member: str | None,
+    link: str | None = None,
 ) -> None:
-    if (unit_id is None) == (member is None):
+    targets = sum(
+        1 for target in (unit_id, member, link) if target is not None
+    )
+    if targets != 1:
         raise ConfigurationError(
-            f"{what} needs exactly one target: unit_id or member"
+            f"{what} needs exactly one target: unit_id, member, or link"
         )
 
 
 @dataclass(frozen=True)
 class Outage:
-    """One scripted outage window: a unit or whole member goes down.
+    """One scripted outage window: a unit, member, or link goes down.
 
     ``duration_s=None`` is a fail-stop crash — the target never repairs.
     Targeting a ``member`` (fleet-member / appliance name) takes down every
     unit of that appliance together: whole-member dropout and rejoin.
+    Targeting a ``link`` (a :class:`~repro.serving.network.NetworkModel`
+    link name) severs the network path to the rack behind it: units there
+    take no new dispatches while the link is down, but stay up and finish
+    their in-flight work — a partition, not a crash.
     """
 
     start_s: float
     duration_s: float | None = None
     unit_id: int | None = None
     member: str | None = None
+    link: str | None = None
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -102,7 +133,7 @@ class Outage:
             raise ConfigurationError(
                 "outage duration_s must be positive (None = fail-stop)"
             )
-        _validate_target("an outage", self.unit_id, self.member)
+        _validate_target("an outage", self.unit_id, self.member, self.link)
 
     @property
     def end_s(self) -> float:
@@ -115,12 +146,16 @@ class Outage:
 
 @dataclass(frozen=True)
 class Degradation:
-    """Link degradation: a window scaling the target's service times.
+    """Link degradation: a window scaling the target's service or transfer
+    times.
 
-    ``slowdown`` multiplies every service time the target prices while the
-    window is active (2.0 = twice as slow); overlapping degradations on one
-    unit stack multiplicatively.  Models a congested or error-prone link to
-    a member rather than a dead device: the member keeps serving, slower.
+    ``slowdown`` multiplies every cost the target prices while the window
+    is active (2.0 = twice as slow); overlapping degradations on one target
+    stack multiplicatively.  A ``unit_id`` or ``member`` target scales the
+    target's *service* times (a struggling device); a ``link`` target (a
+    :class:`~repro.serving.network.NetworkModel` link name) scales the
+    *transfer* times of every unit behind that link — a congested or
+    error-prone inter-rack path rather than a slow device.
     """
 
     start_s: float
@@ -128,6 +163,7 @@ class Degradation:
     slowdown: float
     unit_id: int | None = None
     member: str | None = None
+    link: str | None = None
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -136,7 +172,9 @@ class Degradation:
             raise ConfigurationError("degradation duration_s must be positive")
         if self.slowdown <= 0:
             raise ConfigurationError("slowdown must be positive")
-        _validate_target("a degradation", self.unit_id, self.member)
+        _validate_target(
+            "a degradation", self.unit_id, self.member, self.link
+        )
 
     @property
     def end_s(self) -> float:
@@ -209,6 +247,12 @@ class CompiledFaults:
     #: at ``inf``); the availability oracle in ``ServingReport`` recomputes
     #: from exactly these windows.
     downtime: dict[int, tuple[tuple[float, float], ...]]
+    #: Merged sever windows per link name (link outages partition the rack
+    #: behind the link without taking its units down, so these windows are
+    #: reported separately from unit downtime).
+    link_downtime: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
 
 
 def merge_windows(
@@ -318,20 +362,50 @@ class FaultSchedule:
             )
         return members[member]
 
+    @staticmethod
+    def _resolve_link(
+        what: str, link: str, links: dict[str, list[int]]
+    ) -> list[int]:
+        if not links:
+            raise ConfigurationError(
+                f"{what} targets link {link!r} but the unit set carries no "
+                f"links — serve the fleet with a NetworkModel to name them"
+            )
+        if link not in links:
+            raise ConfigurationError(
+                f"{what} targets unknown link {link!r}; "
+                f"links: {sorted(links)}"
+            )
+        return links[link]
+
     def compile(self, units) -> CompiledFaults:
         """Resolve this schedule against concrete server units.
 
         ``units`` is the simulator's unit list (anything with ``unit_id``
-        and ``appliance`` attributes).  Returns the merged per-unit down
-        windows plus the sorted event timeline the event loop consumes.
+        and ``appliance`` attributes; units annotated by a
+        :class:`~repro.serving.network.NetworkModel` also carry
+        ``link_name``, which is what ``link=`` targets resolve against).
+        Returns the merged per-unit down windows plus the sorted event
+        timeline the event loop consumes.
         """
         unit_ids = {unit.unit_id for unit in units}
         members: dict[str, list[int]] = {}
+        links: dict[str, list[int]] = {}
         for unit in units:
             members.setdefault(unit.appliance, []).append(unit.unit_id)
+            link_name = getattr(unit, "link_name", None)
+            if link_name is not None:
+                links.setdefault(link_name, []).append(unit.unit_id)
 
         down: dict[int, list[tuple[float, float]]] = {}
+        link_down: dict[str, list[tuple[float, float]]] = {}
         for outage in self.outages:
+            if outage.link is not None:
+                self._resolve_link("an outage", outage.link, links)
+                link_down.setdefault(outage.link, []).append(
+                    (outage.start_s, outage.end_s)
+                )
+                continue
             for uid in self._resolve(
                 "an outage", outage.unit_id, outage.member, unit_ids, members
             ):
@@ -360,29 +434,53 @@ class FaultSchedule:
                 if end != float("inf"):
                     events.append(FaultEvent(end, EVENT_UP, uid))
 
+        link_downtime: dict[str, tuple[tuple[float, float], ...]] = {}
+        for link, windows in link_down.items():
+            merged = merge_windows(windows)
+            if not merged:
+                continue
+            link_downtime[link] = tuple(merged)
+            for start, end in merged:
+                for uid in links[link]:
+                    events.append(FaultEvent(start, EVENT_LINK_DOWN, uid))
+                    if end != float("inf"):
+                        events.append(FaultEvent(end, EVENT_LINK_UP, uid))
+
         for degradation in self.degradations:
-            for uid in self._resolve(
-                "a degradation",
-                degradation.unit_id,
-                degradation.member,
-                unit_ids,
-                members,
-            ):
+            if degradation.link is not None:
+                targets = self._resolve_link(
+                    "a degradation", degradation.link, links
+                )
+                slow_kind, unslow_kind = EVENT_LINK_SLOW, EVENT_LINK_UNSLOW
+            else:
+                targets = self._resolve(
+                    "a degradation",
+                    degradation.unit_id,
+                    degradation.member,
+                    unit_ids,
+                    members,
+                )
+                slow_kind, unslow_kind = EVENT_SLOW, EVENT_UNSLOW
+            for uid in targets:
                 events.append(
                     FaultEvent(
-                        degradation.start_s, EVENT_SLOW, uid,
+                        degradation.start_s, slow_kind, uid,
                         slowdown=degradation.slowdown,
                     )
                 )
                 events.append(
                     FaultEvent(
-                        degradation.end_s, EVENT_UNSLOW, uid,
+                        degradation.end_s, unslow_kind, uid,
                         slowdown=degradation.slowdown,
                     )
                 )
 
         events.sort(key=FaultEvent.sort_key)
-        return CompiledFaults(events=tuple(events), downtime=downtime)
+        return CompiledFaults(
+            events=tuple(events),
+            downtime=downtime,
+            link_downtime=link_downtime,
+        )
 
 
 @dataclass(frozen=True)
@@ -391,19 +489,29 @@ class RetryPolicy:
 
     A killed request re-enqueues after an exponential backoff —
     ``backoff_s * backoff_multiplier**(failures - 1)`` seconds after its
-    ``failures``-th kill — until it has been dispatched ``max_attempts``
+    ``failures``-th kill, clamped to ``max_backoff_s`` when one is set —
+    until it has been dispatched ``max_attempts``
     times, after which it is recorded as failed (reason
     ``retries-exhausted``).  ``retry_budget`` caps the *total* retries the
     whole run may spend (reason ``retry-budget-exhausted`` once dry);
     ``None`` is unlimited.  ``max_attempts=1`` disables retries entirely:
     every killed request fails immediately (reason ``unit-failure``), as do
     requests tagged ``retryable=False``.
+
+    Without ``max_backoff_s`` the exponential is unbounded: a long campaign
+    of repeated kills pushes the retry instant astronomically far past the
+    trace (the uncapped product overflows toward infinity), so the request
+    silently never retries instead of failing accountably.  Set the cap for
+    any campaign whose failure count can grow large.
     """
 
     max_attempts: int = 3
     backoff_s: float = 0.1
     backoff_multiplier: float = 2.0
     retry_budget: int | None = None
+    #: Upper bound on any single retry delay (``None`` = uncapped, the
+    #: historical behavior).
+    max_backoff_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -414,12 +522,26 @@ class RetryPolicy:
             raise ConfigurationError("backoff_multiplier must be positive")
         if self.retry_budget is not None and self.retry_budget < 0:
             raise ConfigurationError("retry_budget must be non-negative")
+        if self.max_backoff_s is not None and self.max_backoff_s < 0:
+            raise ConfigurationError(
+                "max_backoff_s must be non-negative (None = uncapped)"
+            )
 
     def delay_s(self, failures: int) -> float:
         """Backoff before the retry following the ``failures``-th kill."""
         if failures < 1:
             raise ConfigurationError("failures must be >= 1")
-        return self.backoff_s * self.backoff_multiplier ** (failures - 1)
+        try:
+            delay = self.backoff_s * self.backoff_multiplier ** (failures - 1)
+        except OverflowError:
+            # Python float ** raises rather than returning inf; an exponent
+            # that large is unbounded either way.
+            delay = float("inf")
+        if self.max_backoff_s is not None:
+            # min() also tames the overflow case: an exponent large enough
+            # to overflow still clamps to the finite cap.
+            return min(delay, self.max_backoff_s)
+        return delay
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,12 @@ contributes batch-capable units priced through the GPU batching cost
 model, while DFX members keep the unbatched batch=1 passthrough — which is
 exactly the paper's asymmetry (Sec. III-A): the FPGA appliance serves each
 request alone for latency, the GPU needs gathered batches for throughput.
+
+A fourth axis is *where the members sit*: pass a
+:class:`~repro.serving.network.NetworkModel` placing every member in a
+rack and the simulator prices prompt-ingress plus token-egress transfer
+into each dispatch, so routing becomes network-aware (see ``network.py``).
+``network=None`` keeps today's one-box arithmetic bit for bit.
 """
 
 from __future__ import annotations
@@ -75,6 +81,7 @@ class ApplianceFleet:
         faults=None,
         retry_policy=None,
         degraded_mode=None,
+        network=None,
         retain_records: bool = True,
     ) -> None:
         if not members:
@@ -82,6 +89,18 @@ class ApplianceFleet:
         names = [member.name for member in members]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"fleet member names must be unique: {names}")
+        if network is not None:
+            # Fail at fleet build time, not mid-simulation: every member
+            # must be placed in a rack, and every placed name must exist.
+            for member_name in names:
+                network.rack_of(member_name)
+            unknown = set(network.members) - set(names)
+            if unknown:
+                raise ConfigurationError(
+                    f"network places unknown members {sorted(unknown)}; "
+                    f"fleet members: {names}"
+                )
+        self.network = network
         self.members = tuple(members)
         self.scheduler = scheduler
         self.batch_policy = batch_policy
@@ -176,5 +195,6 @@ class ApplianceFleet:
             faults=self.faults,
             retry_policy=self.retry_policy,
             degraded_mode=self.degraded_mode,
+            network=self.network,
             retain_records=self.retain_records,
         )

@@ -578,6 +578,19 @@ def with_service_levels(
     return list(tagged) if hasattr(trace, "__len__") else tagged
 
 
+def _arrival_key(request: ServiceRequest) -> float:
+    """The one merge ordering key, shared by both ``merge_traces`` paths.
+
+    Ties on arrival time are broken by *trace argument order, then order
+    within each trace* — the eager path gets this from sort stability over
+    the argument-order concatenation, the lazy path from ``heapq.merge``'s
+    stable interleave.  Both resolve ties identically, and the equivalence
+    is bit-identity-tested over tying arrivals, so eager and lazy merges of
+    the same inputs are interchangeable everywhere downstream.
+    """
+    return request.arrival_time_s
+
+
 def merge_traces(
     *traces: Iterable[ServiceRequest],
 ) -> list[ServiceRequest] | Iterator[ServiceRequest]:
@@ -590,21 +603,21 @@ def merge_traces(
     as always.  If *any* input is lazy, the merge is lazy too: every input
     must then already be sorted by arrival time (true of every trace
     builder here) and the streams are interleaved with ``heapq.merge``, so
-    arbitrarily long traces merge in constant memory.  Ties on arrival
-    time resolve in argument order either way.
+    arbitrarily long traces merge in constant memory.  Both paths order by
+    :func:`_arrival_key` with the same pinned tie-break (argument order,
+    then within-trace order), so the eager and lazy merges of the same
+    inputs are bit-identical.
     """
     if all(hasattr(trace, "__len__") for trace in traces):
         merged = sorted(
             (request for trace in traces for request in trace),
-            key=lambda request: request.arrival_time_s,
+            key=_arrival_key,
         )
         return [
             dataclasses.replace(request, request_id=index)
             for index, request in enumerate(merged)
         ]
-    interleaved = heapq.merge(
-        *traces, key=lambda request: request.arrival_time_s
-    )
+    interleaved = heapq.merge(*traces, key=_arrival_key)
     return (
         dataclasses.replace(request, request_id=index)
         for index, request in enumerate(interleaved)

@@ -70,11 +70,19 @@ class SchedulingPolicy:
         The default composes ``select`` greedily: the policy's next pick
         joins the batch, then the next, until the batch is full or the
         policy declines — so FIFO batches the oldest requests, SJF the
-        shortest, priority the most urgent.  Override to co-schedule
+        shortest, priority the most urgent.  Requests the policy has
+        declared ``infeasible`` at this instant are excluded before
+        composing — a policy must not gather a request into a batch it
+        would have dropped the same tick.  Override to co-schedule
         requests that batch well together (e.g. similar output lengths).
         """
-        remaining = list(queue)
-        positions = list(range(len(queue)))
+        dropped = set(self.infeasible(now, queue, estimate))
+        remaining = [
+            request
+            for index, request in enumerate(queue)
+            if index not in dropped
+        ]
+        positions = [index for index in range(len(queue)) if index not in dropped]
         picked: list[int] = []
         while remaining and len(picked) < max_size:
             index = self.select(now, remaining, estimate)
@@ -161,12 +169,53 @@ class DeadlineScheduler(SchedulingPolicy):
         ]
 
 
+class ShapeAwareScheduler(SchedulingPolicy):
+    """FIFO dispatch with shape-aware batch gathering.
+
+    Gather-mode batches are priced by their *longest* member (the batch
+    decodes until its last request finishes — see
+    :class:`~repro.serving.batching.BackendBatchCostModel`), so a batch
+    mixing short and long generations pads every short member up to the
+    dominant shape.  This policy keeps singleton dispatch order FIFO
+    (identical to :class:`FIFOScheduler` when no batches form) but gathers
+    batches around the oldest waiting request: the anchor joins first, then
+    the queue's closest output lengths fill the remaining seats, ties
+    breaking toward arrival order.  Members are returned in arrival order,
+    so the recorded batch layout stays deterministic.
+    """
+
+    name = "shape"
+
+    def select(self, now, queue, estimate):
+        return 0
+
+    def select_batch(self, now, queue, estimate, max_size):
+        candidates = [
+            index
+            for index in range(len(queue))
+            if index not in set(self.infeasible(now, queue, estimate))
+        ]
+        if not candidates:
+            return []
+        anchor = candidates[0]
+        anchor_tokens = queue[anchor].workload.output_tokens
+        rest = sorted(
+            candidates[1:],
+            key=lambda i: (
+                abs(queue[i].workload.output_tokens - anchor_tokens),
+                i,
+            ),
+        )[: max_size - 1]
+        return sorted([anchor, *rest])
+
+
 #: Registry of built-in policies by name.
 SCHEDULERS: dict[str, type[SchedulingPolicy]] = {
     FIFOScheduler.name: FIFOScheduler,
     ShortestJobFirstScheduler.name: ShortestJobFirstScheduler,
     PriorityScheduler.name: PriorityScheduler,
     DeadlineScheduler.name: DeadlineScheduler,
+    ShapeAwareScheduler.name: ShapeAwareScheduler,
 }
 
 

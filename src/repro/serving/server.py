@@ -112,6 +112,10 @@ class CompletedRequest:
     # Dispatches it took to complete the request: 1 unless a unit failure
     # killed an earlier attempt and the retry policy re-enqueued it.
     attempts: int = 1
+    #: Network transfer seconds this request's dispatch paid (prompt ingress
+    #: plus token egress over its unit's link; shared by every member of a
+    #: gathered batch).  Exactly 0.0 without a network model.
+    transfer_time_s: float = 0.0
 
     @property
     def queueing_delay_s(self) -> float:
@@ -205,10 +209,23 @@ class ReportAccumulator:
     slo_lost: int = 0
     #: Latest completion instant (the busy window's right edge).
     last_finish_s: float = float("-inf")
+    # ------------------------------------------------- network accounting
+    #: Network transfer seconds summed over dispatches (each batch once).
+    total_transfer_time_s: float = 0.0
+    #: Dispatches that landed on a member off the ingress rack.
+    num_cross_rack_dispatches: int = 0
+    #: Members off the ingress rack (set by the simulator's streaming sink
+    #: from the network model; empty without one).
+    cross_rack_members: frozenset = frozenset()
     response: QuantileSketch = field(init=False)
     queueing: QuantileSketch = field(init=False)
     gather: QuantileSketch = field(init=False)
     failover: QuantileSketch = field(init=False)
+    #: Per-dispatch transfer seconds (fed for every dispatch, 0.0 entries
+    #: included, so network-free and zero-cost runs accumulate identically).
+    transfer: QuantileSketch = field(init=False)
+    #: Response times of requests served on cross-rack members.
+    cross_rack_response: QuantileSketch = field(init=False)
     response_by_class: dict[str, QuantileSketch] = field(
         init=False, default_factory=dict
     )
@@ -222,6 +239,8 @@ class ReportAccumulator:
         self.queueing = QuantileSketch(self.eps)
         self.gather = QuantileSketch(self.eps)
         self.failover = QuantileSketch(self.eps)
+        self.transfer = QuantileSketch(self.eps)
+        self.cross_rack_response = QuantileSketch(self.eps)
 
     # ------------------------------------------------------- sealing interface
     def seal_dispatch(self, records: list[CompletedRequest]) -> None:
@@ -241,12 +260,20 @@ class ReportAccumulator:
         else:
             oldest_arrival = min(r.request.arrival_time_s for r in records)
         self.gather.add(representative.start_time_s - oldest_arrival)
+        transfer = representative.transfer_time_s
+        self.total_transfer_time_s += transfer
+        self.transfer.add(transfer)
+        cross_rack = representative.appliance in self.cross_rack_members
+        if cross_rack:
+            self.num_cross_rack_dispatches += 1
         for record in records:
             self.num_completed += 1
             self.output_tokens += record.request.workload.output_tokens
             response_time = record.response_time_s
             self.response.add(response_time)
             self.queueing.add(record.queueing_delay_s)
+            if cross_rack:
+                self.cross_rack_response.add(response_time)
             label = record.request.service_class
             self.class_labels.add(label)
             sketch = self.response_by_class.get(label)
@@ -312,6 +339,14 @@ class ServingReport:
     )
     #: Appliance name of each unit id (for per-appliance availability).
     unit_appliance: dict[int, str] = field(default_factory=dict)
+    # ----------------------------------------------------- network accounting
+    #: Members (appliance names) placed off the ingress rack by the run's
+    #: network model; empty when the run carried no network.
+    cross_rack_members: frozenset = frozenset()
+    #: Merged severed windows per link name, from the compiled fault schedule.
+    link_downtime: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
     #: Streaming-mode accounting: ``None`` in retained mode (the default),
     #: a :class:`ReportAccumulator` when the run sealed records online
     #: (``retain_records=False``) — ``completed``/``abandoned``/``failed``
@@ -715,6 +750,97 @@ class ServingReport:
         if delays.size == 0:
             return 0.0
         return float(np.percentile(delays, percentile))
+
+    # ---------------------------------------------------------- network stats
+    def _dispatch_transfers(self) -> np.ndarray:
+        """Per-dispatch transfer seconds (retained mode; each batch once)."""
+        return np.asarray(
+            [d.transfer_time_s for d in self.iter_dispatches()],
+            dtype=np.float64,
+        )
+
+    @property
+    def total_transfer_time_s(self) -> float:
+        """Network transfer seconds summed over dispatches (each batch once).
+
+        Exactly 0.0 for runs without a network model (or with a zero-cost
+        one).
+        """
+        if self.stats is not None:
+            return self.stats.total_transfer_time_s
+        return float(sum(d.transfer_time_s for d in self.iter_dispatches()))
+
+    @property
+    def mean_transfer_time_s(self) -> float:
+        """Mean per-dispatch network transfer seconds."""
+        if self.stats is not None:
+            return self.stats.transfer.mean
+        transfers = self._dispatch_transfers()
+        if transfers.size == 0:
+            return 0.0
+        return float(transfers.mean())
+
+    def transfer_time_percentile_s(self, percentile: float) -> float:
+        """Per-dispatch transfer-time percentile (0.0 with no dispatches)."""
+        if self.stats is not None:
+            return self.stats.transfer.query(percentile)
+        transfers = self._dispatch_transfers()
+        if transfers.size == 0:
+            return 0.0
+        return float(np.percentile(transfers, percentile))
+
+    @property
+    def num_cross_rack_dispatches(self) -> int:
+        """Dispatches that landed on a member off the ingress rack."""
+        if self.stats is not None:
+            return self.stats.num_cross_rack_dispatches
+        if not self.cross_rack_members:
+            return 0
+        return sum(
+            1
+            for d in self.iter_dispatches()
+            if d.appliance in self.cross_rack_members
+        )
+
+    @property
+    def cross_rack_dispatch_fraction(self) -> float:
+        """Fraction of dispatches routed off the ingress rack."""
+        batches = self.num_batches
+        if batches == 0:
+            return 0.0
+        return self.num_cross_rack_dispatches / batches
+
+    def cross_rack_response_percentile_s(self, percentile: float) -> float:
+        """Response-time percentile over requests served off-rack.
+
+        0.0 when no request was served on a cross-rack member (including
+        every run without a network model).
+        """
+        if self.stats is not None:
+            if self.stats.cross_rack_response.count == 0:
+                return 0.0
+            return self.stats.cross_rack_response.query(percentile)
+        if not self.cross_rack_members:
+            return 0.0
+        values = [
+            c.response_time_s
+            for c in self.completed
+            if c.appliance in self.cross_rack_members
+        ]
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=np.float64), percentile))
+
+    def downtime_by_link(self) -> dict[str, float]:
+        """Severed seconds per link name, clipped to the busy window."""
+        window_start, window_end = self._busy_window()
+        downtime: dict[str, float] = {}
+        for link, windows in self.link_downtime.items():
+            total = 0.0
+            for start, end in windows:
+                total += max(0.0, min(end, window_end) - max(start, window_start))
+            downtime[link] = total
+        return downtime
 
     @property
     def abandonment_rate(self) -> float:

@@ -73,6 +73,19 @@ each factor change.  In-flight gather-mode work keeps its priced finish
 time across a degradation (only failures retract dispatched work).  With
 no faults scheduled every multiplier is exactly 1.0 and every fault branch
 is dead, so the simulation is bit-identical to the pre-fault simulator.
+
+A :class:`~repro.serving.network.NetworkModel` makes the loop
+network-aware: every unit is annotated with the link its appliance sits
+behind, dispatches pay prompt-ingress plus token-egress transfer time on
+top of compute (the wall clock stretches; energy does not), and both
+routing estimates fold the transfer tax in so an off-rack unit only wins
+a dispatch when its compute advantage beats the wire.  Link faults target
+the link by name: a severed link partitions its rack (no new dispatches;
+in-flight work completes) and a degraded link stretches transfer time
+only.  With ``network=None`` every unit keeps ``transfer_link=None`` and
+prices zero transfer through an early return; a zero-cost model prices
+every transfer at exactly ``0.0`` — both are bit-identical to the
+pre-network simulator.
 """
 
 from __future__ import annotations
@@ -91,6 +104,10 @@ from repro.serving.stats import DEFAULT_EPS
 from repro.serving.faults import (
     ABANDON_SHED,
     EVENT_DOWN,
+    EVENT_LINK_DOWN,
+    EVENT_LINK_SLOW,
+    EVENT_LINK_UNSLOW,
+    EVENT_LINK_UP,
     EVENT_SLOW,
     EVENT_UNSLOW,
     EVENT_UP,
@@ -99,6 +116,7 @@ from repro.serving.faults import (
     FaultSchedule,
     RetryPolicy,
 )
+from repro.serving.network import NetworkLink, NetworkModel
 from repro.serving.requests import ServiceRequest
 from repro.serving.schedulers import SchedulingPolicy
 from repro.serving.server import (
@@ -214,6 +232,9 @@ class _DecodeStream:
     energy_joules: float = 0.0
     #: Slowdown factor in effect for the current segment (link degradation).
     slowdown: float = 1.0
+    #: Network transfer priced into this stream at admission (a fixed
+    #: additive term carried through every re-price; 0.0 with no network).
+    transfer_s: float = 0.0
 
     @property
     def request(self) -> ServiceRequest:
@@ -262,12 +283,25 @@ class ServerUnit:
     reprice: bool = False
     streams: dict[int, _DecodeStream] = field(default_factory=dict)
     # Fault state: a down unit takes no dispatches; ``slowdown`` is the
-    # product of the active link-degradation factors (exactly 1.0 when none
+    # product of the active degradation factors (exactly 1.0 when none
     # are active, so fault-free pricing is bit-identical).
     up: bool = True
     slowdown: float = 1.0
     slow_factors: list[float] = field(default_factory=list)
     inflight: dict[int, _InflightDispatch] = field(default_factory=dict)
+    # Network state, annotated by :func:`simulate` from the NetworkModel:
+    # units on the ingress rack (and every unit of a network-less run) keep
+    # ``transfer_link=None`` and price zero transfer through an early
+    # return, so the no-network arithmetic is untouched.  ``link_name`` is
+    # the fault-targetable name of the link this unit sits behind;
+    # ``link_up`` / ``link_slowdown`` mirror the unit-level fault state but
+    # sever dispatch reachability and stretch transfer time only.
+    link_name: str | None = None
+    transfer_link: NetworkLink | None = None
+    transfer_bytes_per_token: float = 0.0
+    link_up: bool = True
+    link_slowdown: float = 1.0
+    link_slow_factors: list[float] = field(default_factory=list)
 
     @property
     def busy(self) -> bool:
@@ -275,19 +309,66 @@ class ServerUnit:
 
     @property
     def available(self) -> bool:
-        """Whether the unit can take a dispatch right now (live and not full)."""
-        return self.up and not self.busy
+        """Whether the unit can take a dispatch right now (live, reachable,
+        and not full)."""
+        return self.up and self.link_up and not self.busy
+
+    def transfer_time_s(self, request: ServiceRequest) -> float:
+        """Network transfer one dispatch of ``request`` pays on this unit.
+
+        Prompt ingress plus token egress over the unit's link, scaled by
+        the link's degradation factor; exactly ``0.0`` for local units
+        (ingress rack, or no network at all).  Matches
+        :meth:`~repro.serving.network.NetworkModel.transfer_time_s` term
+        for term so retained-mode recomputation is bit-exact.
+        """
+        if self.transfer_link is None:
+            return 0.0
+        workload = request.workload
+        return (
+            self.transfer_link.one_way_s(
+                workload.input_tokens * self.transfer_bytes_per_token
+            )
+            + self.transfer_link.one_way_s(
+                workload.output_tokens * self.transfer_bytes_per_token
+            )
+        ) * self.link_slowdown
+
+    def batch_transfer_time_s(self, requests: list[ServiceRequest]) -> float:
+        """Network transfer one gathered batch pays on this unit.
+
+        The batch ships as one burst: every member's prompt crosses on the
+        ingress leg and every member's output on the egress leg, each leg
+        paying the link's propagation latency once.
+        """
+        if self.transfer_link is None:
+            return 0.0
+        input_tokens = sum(r.workload.input_tokens for r in requests)
+        output_tokens = sum(r.workload.output_tokens for r in requests)
+        return (
+            self.transfer_link.one_way_s(
+                input_tokens * self.transfer_bytes_per_token
+            )
+            + self.transfer_link.one_way_s(
+                output_tokens * self.transfer_bytes_per_token
+            )
+        ) * self.link_slowdown
 
     def service_time_s(self, request: ServiceRequest) -> float:
-        """Estimated service time of ``request`` dispatched on this unit now."""
+        """Estimated time to serve ``request`` dispatched on this unit now
+        (compute plus any network transfer)."""
         if self.slots > 1:
-            return (
+            compute = (
                 self.batch_costs.continuous_latency_s(
                     request.workload, self.active + 1
                 )
                 * self.slowdown
             )
-        return self.oracle.service_time_s(request.workload) * self.slowdown
+        else:
+            compute = self.oracle.service_time_s(request.workload) * self.slowdown
+        if self.transfer_link is None:
+            return compute
+        return compute + self.transfer_time_s(request)
 
 
 @dataclass
@@ -370,7 +451,7 @@ class _SimulationState:
         # Early exit without building a list: this runs once per event, and
         # on a loaded system most events find every unit busy.
         for unit in self.units:
-            if unit.up and unit.active < unit.slots:
+            if unit.up and unit.link_up and unit.active < unit.slots:
                 break
         else:
             return
@@ -388,17 +469,21 @@ class _SimulationState:
             self.queue[:] = still_waiting
 
         def system_estimate(request: ServiceRequest) -> float:
-            # Singleton service time on the best *live* unit in the system —
-            # a lower bound on any achievable service time (batches only slow
-            # a member down), so deadline policies can treat
-            # ``now + estimate(r) > deadline`` as a proof of infeasibility
-            # even when the fast units are momentarily busy.  Down units
-            # cannot serve and degraded units pay their slowdown.  At least
-            # one unit is live here: ``idle_units()`` was non-empty above.
+            # Singleton service time on the best *live, reachable* unit in
+            # the system — a lower bound on any achievable service time
+            # (batches only slow a member down), so deadline policies can
+            # treat ``now + estimate(r) > deadline`` as a proof of
+            # infeasibility even when the fast units are momentarily busy.
+            # Down units cannot serve, units behind a severed link cannot
+            # be reached, degraded units pay their slowdown, and off-rack
+            # units pay their transfer tax (0.0 with no network, so the
+            # network-less estimate is bit-identical).  At least one unit
+            # is reachable here: the early-exit sweep above found one.
             return min(
                 unit.oracle.service_time_s(request.workload) * unit.slowdown
+                + unit.transfer_time_s(request)
                 for unit in self.units
-                if unit.up
+                if unit.up and unit.link_up
             )
 
         dropped = self.scheduler.infeasible(now, self.queue, system_estimate)
@@ -414,7 +499,7 @@ class _SimulationState:
             # a million events) minus the units held open for batch fill.
             available = [
                 unit for unit in self.units
-                if unit.up and unit.active < unit.slots
+                if unit.up and unit.link_up and unit.active < unit.slots
                 and unit.unit_id not in held
             ]
             if not available:
@@ -485,7 +570,7 @@ class _SimulationState:
             # concurrency reached by this admission; recorded batch size is
             # that decode occupancy.  ``slowdown`` (exactly 1.0 fault-free)
             # stretches the wall clock; energy is billed over the stretched
-            # clock, so a degraded link burns proportionally more.
+            # clock, so a degraded unit burns proportionally more.
             concurrency = unit.active + 1
             workload = requests[0].workload
             latency_s = (
@@ -496,6 +581,7 @@ class _SimulationState:
                 workload, concurrency, latency_s
             )
             batch_size = concurrency
+            transfer_s = unit.transfer_time_s(requests[0])
         elif len(requests) == 1:
             # The exact legacy arithmetic: singleton dispatches reproduce the
             # unbatched simulator bit for bit regardless of the batch policy.
@@ -503,12 +589,17 @@ class _SimulationState:
             latency_s = result.latency_s * unit.slowdown
             energy_joules = result.energy_joules * unit.slowdown
             batch_size = 1
+            transfer_s = unit.transfer_time_s(requests[0])
         else:
             workloads = [request.workload for request in requests]
             latency_s = unit.batch_costs.batch_latency_s(workloads) * unit.slowdown
             energy_joules = unit.batch_costs.batch_energy_joules(workloads, latency_s)
             batch_size = len(requests)
-        finish = now + latency_s
+            transfer_s = unit.batch_transfer_time_s(requests)
+        # Transfer extends the dispatch's wall clock (the slot is held until
+        # the last token lands back at the ingress rack) but burns no unit
+        # energy; 0.0 transfer leaves the finish instant bit-identical.
+        finish = now + latency_s + transfer_s
         unit.active += 1
         unit.free_at_s = max(unit.free_at_s, finish)
         batch_id = self.next_batch_id
@@ -526,6 +617,7 @@ class _SimulationState:
                     batch_id=batch_id,
                     batch_size=batch_size,
                     attempts=self.attempts.get(request.request_id, 0) + 1,
+                    transfer_time_s=transfer_s,
                 )
             )
             self.record_failover(request, now)
@@ -556,7 +648,11 @@ class _SimulationState:
             unit.batch_costs.continuous_latency_s(workload, concurrency)
             * unit.slowdown
         )
-        finish = now + latency_s
+        # Transfer is priced once, at admission, and carried as a fixed
+        # additive term through every re-price (compute speed changes with
+        # occupancy; the wire does not).
+        transfer_s = unit.transfer_time_s(request)
+        finish = now + latency_s + transfer_s
         unit.active += 1
         unit.free_at_s = max(unit.free_at_s, finish)
         batch_id = self.next_batch_id
@@ -570,6 +666,7 @@ class _SimulationState:
             batch_id=batch_id,
             batch_size=concurrency,
             attempts=self.attempts.get(request.request_id, 0) + 1,
+            transfer_time_s=transfer_s,
         )
         self.record_failover(request, now)
         stream_id = self.next_stream_id
@@ -581,6 +678,7 @@ class _SimulationState:
             last_change_s=now,
             finish_s=finish,
             slowdown=unit.slowdown,
+            transfer_s=transfer_s,
         )
         self.completions.push((finish, unit.unit_id, stream_id, 0))
         # The new admission crowds everyone already decoding on the unit.
@@ -599,6 +697,12 @@ class _SimulationState:
         either change the occupancy by exactly one (admission/departure) or
         keep it and change the slowdown (a degradation boundary), so each
         surviving stream's rate really is stale here.
+
+        Network transfer (``stream.transfer_s``, priced at admission) is a
+        fixed additive slice of each total: the wire does not speed up or
+        slow down with decode occupancy.  With no network it is exactly
+        ``0.0`` and both totals are bit-identical to the transfer-free
+        arithmetic.
         """
         for stream_id, stream in unit.streams.items():
             if stream_id == exclude:
@@ -611,6 +715,7 @@ class _SimulationState:
                         workload, stream.concurrency
                     )
                     * stream.slowdown
+                    + stream.transfer_s
                 )
                 if old_total > 0:
                     stream.fraction_done = min(
@@ -625,6 +730,7 @@ class _SimulationState:
             new_total = (
                 unit.batch_costs.continuous_latency_s(workload, stream.concurrency)
                 * unit.slowdown
+                + stream.transfer_s
             )
             remaining = max(0.0, 1.0 - stream.fraction_done) * new_total
             stream.finish_s = now + remaining
@@ -670,8 +776,34 @@ class _SimulationState:
             # Remove one instance of this factor (degradations stack).
             unit.slow_factors.remove(event.slowdown)
             self.change_slowdown(unit, now)
-        else:  # pragma: no cover - compile() only emits the four kinds
+        elif event.kind == EVENT_LINK_DOWN:
+            # A severed link is a partition, not a crash: the unit keeps
+            # serving what it already holds (results buffer rack-side) but
+            # takes no new dispatches until the link repairs.
+            unit.link_up = False
+        elif event.kind == EVENT_LINK_UP:
+            unit.link_up = True
+        elif event.kind == EVENT_LINK_SLOW:
+            unit.link_slow_factors.append(event.slowdown)
+            self.change_link_slowdown(unit)
+        elif event.kind == EVENT_LINK_UNSLOW:
+            unit.link_slow_factors.remove(event.slowdown)
+            self.change_link_slowdown(unit)
+        else:  # pragma: no cover - compile() only emits the eight kinds
             raise ConfigurationError(f"unknown fault event kind {event.kind!r}")
+
+    def change_link_slowdown(self, unit: ServerUnit) -> None:
+        """Recompute a unit's link slowdown from its active factor stack.
+
+        Transfer is priced at admission/dispatch time, so a link factor
+        change affects only work priced after it — in-flight dispatches and
+        streams keep the transfer term they were admitted with (no
+        re-price: the bytes already on the wire crossed at the old rate).
+        """
+        product = 1.0
+        for factor in unit.link_slow_factors:
+            product *= factor
+        unit.link_slowdown = product
 
     def change_slowdown(self, unit: ServerUnit, now: float) -> None:
         """Recompute a unit's slowdown from its active degradation stack.
@@ -795,6 +927,7 @@ def simulate(
     faults: FaultSchedule | None = None,
     retry_policy: RetryPolicy | None = None,
     degraded_mode: DegradedModePolicy | None = None,
+    network: NetworkModel | None = None,
     retain_records: bool = True,
     quantile_eps: float = DEFAULT_EPS,
 ) -> ServingReport:
@@ -823,6 +956,13 @@ def simulate(
     requests killed by failures and ``degraded_mode`` sheds low-priority
     queued traffic while capacity is reduced.  ``faults=None`` and an empty
     schedule are equivalent (and bit-identical to the pre-fault simulator).
+
+    ``network`` is an optional
+    :class:`~repro.serving.network.NetworkModel` placing every unit's
+    appliance in a rack: each unit is annotated with the link its traffic
+    crosses and dispatches pay prompt-ingress plus token-egress transfer
+    time (see ``network.py``).  Every unit's appliance must be placed.
+    ``network=None`` and a zero-cost model are bit-identical.
     """
     units_by_id = {unit.unit_id: unit for unit in units}
     if len(units_by_id) != len(units):
@@ -850,6 +990,17 @@ def simulate(
         unit.slow_factors.clear()
         unit.up = True
         unit.slowdown = 1.0
+        unit.link_slow_factors.clear()
+        unit.link_up = True
+        unit.link_slowdown = 1.0
+        if network is not None:
+            unit.link_name = network.link_name_for(unit.appliance)
+            unit.transfer_link = network.link_for(unit.appliance)
+            unit.transfer_bytes_per_token = network.bytes_per_token
+        else:
+            unit.link_name = None
+            unit.transfer_link = None
+            unit.transfer_bytes_per_token = 0.0
     appliance_clusters: dict[str, int] = {}
     for unit in units:
         appliance_clusters[unit.appliance] = appliance_clusters.get(unit.appliance, 0) + 1
@@ -865,10 +1016,14 @@ def simulate(
     report.unit_appliance = {unit.unit_id: unit.appliance for unit in units}
     if compiled:
         report.unit_downtime = dict(compiled.downtime)
+        report.link_downtime = dict(compiled.link_downtime)
+    if network is not None:
+        report.cross_rack_members = network.cross_rack_members()
     if retain_records:
         sink = _RetainedSink(report)
     else:
         sink = _StreamingSink(report, eps=quantile_eps)
+        sink.stats.cross_rack_members = report.cross_rack_members
 
     # Lists are sorted defensively (as always); anything else streams
     # through with a one-arrival lookahead and an order check.

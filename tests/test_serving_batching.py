@@ -21,7 +21,11 @@ from repro.serving import (
     poisson_trace,
     simulate,
 )
-from repro.serving.schedulers import FIFOScheduler, make_scheduler
+from repro.serving.schedulers import (
+    FIFOScheduler,
+    SchedulingPolicy,
+    make_scheduler,
+)
 from repro.workloads import Workload
 from serving_doubles import (
     BatchableTokenPlatform as _BatchableTokenPlatform,
@@ -406,6 +410,69 @@ class TestBatchAwareScheduling:
         assert picked == [1, 3, 2]
         fifo = make_scheduler("fifo").select_batch(1.0, queue, lambda r: 1.0, 3)
         assert fifo == [0, 1, 2]
+
+    def test_select_batch_excludes_infeasible_requests(self):
+        # The default greedy composition must never gather a request the
+        # policy declared infeasible at the same instant.
+        class _DropOdd(SchedulingPolicy):
+            name = "drop-odd"
+
+            def select(self, now, queue, estimate):
+                return 0
+
+            def infeasible(self, now, queue, estimate):
+                return [
+                    index
+                    for index, request in enumerate(queue)
+                    if request.request_id % 2 == 1
+                ]
+
+        queue = [ServiceRequest(i, 0.1 * i, Workload(1, 1)) for i in range(5)]
+        picked = _DropOdd().select_batch(1.0, queue, lambda r: 1.0, 5)
+        assert picked == [0, 2, 4]
+        # The batch respects max_size after the filter, not before.
+        assert _DropOdd().select_batch(1.0, queue, lambda r: 1.0, 2) == [0, 2]
+
+    def test_deadline_batches_never_gather_expired_requests(self):
+        queue = [
+            ServiceRequest(0, 0.0, Workload(1, 1), slo_s=100.0),
+            ServiceRequest(1, 0.0, Workload(1, 1), slo_s=1.0),  # expired
+            ServiceRequest(2, 0.0, Workload(1, 1), slo_s=50.0),
+        ]
+        picked = make_scheduler("deadline").select_batch(
+            10.0, queue, lambda r: 1.0, 3
+        )
+        assert picked == [2, 0]  # EDF order over the feasible survivors
+
+    def test_select_batch_unchanged_for_policies_without_infeasible(self):
+        # Equivalence with the pre-filter composition: for any policy whose
+        # ``infeasible`` is the empty default, filtering first is a no-op.
+        def compose_without_filter(policy, now, queue, estimate, max_size):
+            remaining = list(queue)
+            positions = list(range(len(queue)))
+            picked = []
+            while remaining and len(picked) < max_size:
+                index = policy.select(now, remaining, estimate)
+                if index is None:
+                    break
+                picked.append(positions.pop(index))
+                remaining.pop(index)
+            return picked
+
+        queue = [
+            ServiceRequest(0, 0.0, Workload(1, 9), priority=2),
+            ServiceRequest(1, 0.1, Workload(1, 2), priority=0),
+            ServiceRequest(2, 0.2, Workload(1, 7), priority=1),
+            ServiceRequest(3, 0.3, Workload(1, 1), priority=0),
+            ServiceRequest(4, 0.4, Workload(1, 5), priority=3),
+        ]
+        estimate = lambda r: 0.1 * r.workload.output_tokens
+        for name in ("fifo", "sjf", "priority"):
+            policy = make_scheduler(name)
+            for max_size in (1, 2, 3, 5, 9):
+                assert policy.select_batch(
+                    1.0, queue, estimate, max_size
+                ) == compose_without_filter(policy, 1.0, queue, estimate, max_size)
 
     def test_sjf_batches_the_shortest_requests(self):
         platform = _BatchableTokenPlatform(fixed_ms_per_token=1000.0)

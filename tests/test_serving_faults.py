@@ -259,6 +259,84 @@ class TestFailuresAndRetries:
                 assert not 2.0 < completed.start_time_s < 4.0
 
 
+# ------------------------------------------------------------- backoff cap
+class TestBackoffCap:
+    def test_cap_clamps_the_exponential(self):
+        policy = RetryPolicy(
+            backoff_s=0.5, backoff_multiplier=3.0, max_backoff_s=2.0
+        )
+        assert policy.delay_s(1) == pytest.approx(0.5)
+        assert policy.delay_s(2) == pytest.approx(1.5)
+        assert policy.delay_s(3) == 2.0
+        assert policy.delay_s(50) == 2.0
+
+    def test_hundred_failure_campaign_stays_finite_and_bounded(self):
+        # The regression: before the cap, a long campaign of kills pushed
+        # the retry instant astronomically past the trace (the 100th delay
+        # of a doubling backoff is ~6e28 seconds).
+        policy = RetryPolicy(
+            max_attempts=101,
+            backoff_s=0.1,
+            backoff_multiplier=2.0,
+            max_backoff_s=30.0,
+        )
+        delays = [policy.delay_s(failures) for failures in range(1, 101)]
+        assert all(math.isfinite(d) and 0.0 < d <= 30.0 for d in delays)
+        assert delays == sorted(delays)  # clamping keeps monotonicity
+        uncapped = RetryPolicy(
+            max_attempts=101, backoff_s=0.1, backoff_multiplier=2.0
+        )
+        assert uncapped.delay_s(100) > 1e28
+
+    def test_cap_tames_an_overflowing_exponent(self):
+        # Exponents large enough to overflow the float product still clamp
+        # to the finite cap; uncapped they saturate to infinity instead of
+        # raising mid-simulation.
+        policy = RetryPolicy(
+            backoff_s=0.1, backoff_multiplier=10.0, max_backoff_s=60.0
+        )
+        assert policy.delay_s(5000) == 60.0
+        uncapped = RetryPolicy(backoff_s=0.1, backoff_multiplier=10.0)
+        assert math.isinf(uncapped.delay_s(5000))
+
+    def test_default_is_uncapped_and_unchanged(self):
+        assert RetryPolicy().max_backoff_s is None
+        policy = RetryPolicy(backoff_s=0.5, backoff_multiplier=3.0)
+        assert policy.delay_s(3) == pytest.approx(4.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_backoff_s=-1.0)
+
+    def test_capped_retries_recover_sooner_end_to_end(self):
+        # Four kills in a row: the uncapped 8x backoff parks the request
+        # ~64 s out after the third kill, the capped policy retries within
+        # 2 s of every kill and finishes two outages earlier.
+        def run(max_backoff_s):
+            server = make_server(
+                latency_s=10.0,
+                faults=FaultSchedule.scripted(
+                    Outage(start_s=1.0, duration_s=1.0, unit_id=0),
+                    Outage(start_s=11.0, duration_s=1.0, unit_id=0),
+                    Outage(start_s=21.0, duration_s=1.0, unit_id=0),
+                    Outage(start_s=31.0, duration_s=1.0, unit_id=0),
+                ),
+                retry_policy=RetryPolicy(
+                    max_attempts=10,
+                    backoff_s=1.0,
+                    backoff_multiplier=8.0,
+                    max_backoff_s=max_backoff_s,
+                ),
+            )
+            report = server.serve([request(0, 0.0)])
+            assert len(report.completed) == 1
+            return report.completed[0]
+
+        capped, uncapped = run(2.0), run(None)
+        assert capped.finish_time_s < uncapped.finish_time_s
+        assert capped.attempts >= uncapped.attempts
+
+
 # ----------------------------------------------------------- degraded mode
 class TestDegradedMode:
     def test_shedding_drops_low_priority_while_down(self):

@@ -25,6 +25,9 @@ from repro.serving import (
     DynamicBatching,
     FaultSchedule,
     FleetMember,
+    NetworkLink,
+    NetworkModel,
+    Outage,
     RetryPolicy,
     SCHEDULERS,
     ServiceRequest,
@@ -399,3 +402,153 @@ class TestFaultInvariants:
         # Whole-report equality: an empty schedule compiles to zero events,
         # so the fault-aware loop must be bit-identical to the plain one.
         assert shadowed == baseline
+
+
+def random_network_scenario(seed: int, link: NetworkLink | None):
+    """Build (trace, fleet, outage window) on a randomized 2-rack star.
+
+    Every ``link`` value consumes the identical RNG sequence, so the same
+    seed with a priced, zero-cost, or absent (``None``) network serves the
+    same trace on the same fleet — the variants differ only in the network
+    itself and are comparable record for record.
+    """
+    rng = np.random.default_rng(20_000 + seed)
+    trace = random_trace(rng)
+    hosts_per_rack = int(rng.integers(1, 3))
+    members = [
+        FleetMember(
+            f"rack{rack}-host{host}",
+            _BatchableTokenPlatform(
+                fixed_ms_per_token=float(rng.uniform(50.0, 400.0)),
+                marginal_ms_per_token=float(rng.uniform(1.0, 40.0)),
+            ),
+            max_batch_size=4,
+        )
+        for rack in range(2)
+        for host in range(hosts_per_rack)
+    ]
+    scheduler = str(rng.choice(sorted(SCHEDULERS)))
+    batch_choice = str(rng.choice(["none", "dynamic", "continuous"]))
+    if batch_choice == "dynamic":
+        batch_policy = DynamicBatching(4, float(rng.uniform(0.0, 2.0)))
+    elif batch_choice == "continuous":
+        batch_policy = ContinuousBatching(4)
+    else:
+        batch_policy = "none"
+    network = None
+    if link is not None:
+        network = NetworkModel.star(
+            {
+                f"rack{rack}": tuple(
+                    f"rack{rack}-host{host}" for host in range(hosts_per_rack)
+                )
+                for rack in range(2)
+            },
+            ingress="rack0",
+            link=link,
+        )
+    outage_start = float(rng.uniform(0.0, 8.0))
+    outage_len = float(rng.uniform(0.5, 8.0))
+    fleet = ApplianceFleet(
+        members,
+        scheduler=scheduler,
+        batch_policy=batch_policy,
+        network=network,
+    )
+    return trace, fleet, (outage_start, outage_start + outage_len)
+
+
+def random_link(seed: int) -> NetworkLink:
+    rng = np.random.default_rng(30_000 + seed)
+    return NetworkLink(
+        latency_s=float(rng.uniform(0.0, 0.5)),
+        bandwidth_bytes_per_s=float(rng.uniform(100.0, 10_000.0)),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestNetworkInvariants:
+    def test_conservation_with_network_and_link_faults(self, seed):
+        trace, fleet, (start, end) = random_network_scenario(
+            seed, random_link(seed)
+        )
+        fleet.faults = FaultSchedule.scripted(
+            Outage(start_s=start, duration_s=end - start, link="rack1")
+        )
+        report = fleet.serve(trace)
+        # A link outage is a partition, not a crash: no kills, no failures,
+        # and every offered request still lands in exactly one outcome list.
+        assert report.num_failed == 0
+        assert report.num_offered == len(trace)
+        outcome_ids = sorted(
+            [c.request.request_id for c in report.completed]
+            + [a.request.request_id for a in report.abandoned]
+        )
+        assert outcome_ids == sorted(r.request_id for r in trace)
+        assert set(report.downtime_by_link()) <= {"rack1"}
+
+    def test_no_dispatch_crosses_a_down_link(self, seed):
+        trace, fleet, (start, end) = random_network_scenario(
+            seed, random_link(seed)
+        )
+        fleet.faults = FaultSchedule.scripted(
+            Outage(start_s=start, duration_s=end - start, link="rack1")
+        )
+        report = fleet.serve(trace)
+        for completed in report.completed:
+            if completed.appliance in report.cross_rack_members:
+                # In-flight work may *finish* inside the window (a partition
+                # does not kill), but nothing new starts over a down link.
+                assert not start < completed.start_time_s < end
+
+    def test_transfer_matches_recompute_oracle(self, seed):
+        trace, fleet, _ = random_network_scenario(seed, random_link(seed))
+        network = fleet.network
+        report = fleet.serve(trace)
+        groups: dict[int, list] = {}
+        for completed in report.completed:
+            groups.setdefault(completed.batch_id, []).append(completed)
+        for records in groups.values():
+            member = records[0].appliance
+            link = network.link_for(member)
+            if link is None:
+                expected = 0.0
+            else:
+                expected = link.one_way_s(
+                    sum(r.request.workload.input_tokens for r in records)
+                    * network.bytes_per_token
+                ) + link.one_way_s(
+                    sum(r.request.workload.output_tokens for r in records)
+                    * network.bytes_per_token
+                )
+            for record in records:
+                # Bitwise equality: the simulator's pricing and the model's
+                # own oracle must evaluate the identical expression.
+                assert record.transfer_time_s == expected
+        dispatch_transfers = [
+            d.transfer_time_s for d in report.iter_dispatches()
+        ]
+        assert report.total_transfer_time_s == pytest.approx(
+            sum(dispatch_transfers)
+        )
+        cross = sum(
+            1
+            for d in report.iter_dispatches()
+            if d.appliance in report.cross_rack_members
+        )
+        assert report.num_cross_rack_dispatches == cross
+
+    def test_zero_cost_network_is_bit_identical_to_no_network(self, seed):
+        trace, fleet, _ = random_network_scenario(seed, NetworkLink())
+        priced_free = fleet.serve(trace)
+        trace2, bare_fleet, _ = random_network_scenario(seed, None)
+        bare = bare_fleet.serve(trace2)
+        # A zero-cost link prices every transfer at exactly 0.0 — a bitwise
+        # no-op on every finish instant, so the records must match exactly.
+        assert priced_free.completed == bare.completed
+        assert priced_free.abandoned == bare.abandoned
+        assert priced_free.failed == bare.failed
+        assert priced_free.makespan_s == bare.makespan_s
+        assert priced_free.first_arrival_s == bare.first_arrival_s
+        assert priced_free.total_energy_joules == bare.total_energy_joules
+        assert priced_free.total_transfer_time_s == 0.0

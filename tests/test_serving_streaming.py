@@ -415,6 +415,34 @@ class TestLazyTraces:
         assert not isinstance(lazy, list)
         assert eager == list(lazy)
 
+    def test_merge_traces_tie_break_is_pinned_and_identical(self):
+        """Ties on arrival time resolve by trace argument order, then order
+        within each trace — identically on the eager (stable sort) and lazy
+        (heapq.merge) paths, so the two merges are bit-identical."""
+        workload = Workload(8, 8)
+        first = [
+            ServiceRequest(0, 1.0, workload, service_class="a"),
+            ServiceRequest(1, 1.0, workload, service_class="a"),
+            ServiceRequest(2, 2.0, workload, service_class="a"),
+        ]
+        second = [
+            ServiceRequest(0, 1.0, workload, service_class="b"),
+            ServiceRequest(1, 2.0, workload, service_class="b"),
+            ServiceRequest(2, 2.0, workload, service_class="b"),
+        ]
+        eager = merge_traces(first, second)
+        lazy = list(merge_traces(iter(first), iter(second)))
+        assert eager == lazy
+        # At t=1.0 every `first` tie precedes every `second` tie; within a
+        # trace, original order survives.  Same again at t=2.0.
+        assert [r.service_class for r in eager] == ["a", "a", "b", "a", "b", "b"]
+        assert [r.request_id for r in eager] == list(range(6))
+        # Argument order is the tie-break, so swapping the inputs swaps the
+        # interleave — on both paths, identically.
+        swapped = merge_traces(second, first)
+        assert [r.service_class for r in swapped] == ["b", "a", "a", "b", "b", "a"]
+        assert swapped == list(merge_traces(iter(second), iter(first)))
+
     def test_streaming_serve_of_lazy_trace_counts_everything(self):
         """End to end: a lazy trace through streaming accounting conserves
         requests without ever materializing records."""
