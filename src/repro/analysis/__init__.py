@@ -37,9 +37,12 @@ from repro.analysis.experiments import (
     BatchingComparisonResult,
     SchedulerComparisonResult,
     ServingCapacityResult,
+    Figure8DSEResult,
     fleet_capacity_plan,
     run_batch_capacity_sweep,
     run_batching_comparison,
+    run_design_space_exploration,
+    run_figure8_dse,
     run_scheduler_comparison,
     run_serving_capacity,
 )
@@ -74,9 +77,12 @@ __all__ = [
     "experiments",
     "BatchCapacitySweepResult",
     "BatchingComparisonResult",
+    "Figure8DSEResult",
     "SchedulerComparisonResult",
     "ServingCapacityResult",
     "fleet_capacity_plan",
+    "run_design_space_exploration",
+    "run_figure8_dse",
     "run_batch_capacity_sweep",
     "run_batching_comparison",
     "run_scheduler_comparison",

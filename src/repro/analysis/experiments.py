@@ -1099,3 +1099,113 @@ def run_accuracy_comparison(
     for dataset in paper_datasets(config.vocab_size):
         comparisons.append(compare_pipelines(gpu_model, dfx_model, dataset))
     return comparisons
+
+
+# ------------------------------------------------------------------------ DSE
+@dataclass(frozen=True)
+class Figure8DSEResult:
+    """Fig. 8 re-expressed as a factorial slice of the DSE engine.
+
+    ``exploration`` is the engine's full record; ``mha_gflops`` and
+    ``mpu_luts`` re-key the objective values by (d, l) tile point, matching
+    the legacy :class:`Figure8Result` vocabulary bit for bit.
+    """
+
+    exploration: "repro.dse.ExplorationResult"  # noqa: F821 - doc only
+
+    @property
+    def mha_gflops(self) -> dict[tuple[int, int], float]:
+        return {
+            entry.candidate["tile"]: entry.vector.value("mha_gflops")
+            for entry in self.exploration.evaluated
+        }
+
+    @property
+    def mpu_luts(self) -> dict[tuple[int, int], float]:
+        return {
+            entry.candidate["tile"]: entry.vector.value("mpu_lut")
+            for entry in self.exploration.evaluated
+        }
+
+    def front_points(self) -> list[tuple[int, int]]:
+        """The Pareto-optimal (d, l) tile shapes."""
+        return [member.candidate["tile"] for member in self.exploration.front]
+
+
+def run_figure8_dse(config: str = "1.5b", kv_length: int = 64) -> Figure8DSEResult:
+    """Fig. 8 through the general DSE engine (factorial over tile shapes).
+
+    Produces the exact numbers of :func:`run_figure8` — same
+    ``multi_head_attention_gflops`` and ``estimate_core_resources`` calls —
+    but as a two-objective Pareto exploration, so the paper's chosen
+    (64, 16) point can be read off the front instead of a hand-rolled
+    tolerance scan.
+    """
+    from repro.dse import TilingEvaluator, factorial_search, figure8_search_space
+
+    space = figure8_search_space()
+    evaluator = TilingEvaluator(config=config, kv_length=kv_length)
+    return Figure8DSEResult(exploration=factorial_search(space, evaluator))
+
+
+def run_design_space_exploration(
+    *,
+    mode: str = "evolutionary",
+    config: str = "test-small",
+    backends: tuple[str, ...] = ("dfx", "gpu"),
+    schedulers: tuple[str, ...] = ("fifo", "sjf"),
+    batch_sizes: tuple[int, ...] = (1, 32),
+    devices: tuple[int, ...] | None = None,
+    racks: tuple[int, ...] | None = None,
+    population_size: int = 8,
+    generations: int = 4,
+    seed: int = 0,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    serving_duration_s: float | None = 30.0,
+    arrival_rate_per_s: float = 0.5,
+) -> "repro.dse.ExplorationResult":  # noqa: F821 - forward doc reference
+    """The appliance-configuration DSE driver (ROADMAP open item 3).
+
+    Explores backend x scheduler x batch (plus devices/racks when given)
+    under the four-objective appliance evaluator and returns the engine's
+    :class:`~repro.dse.ExplorationResult`.  ``mode`` picks the generator:
+    ``"evolutionary"`` (seeded NSGA-II) or ``"factorial"`` (exhaustive).
+    ``results_dir`` makes the run resumable; ``jobs`` parallelizes
+    evaluation with bit-identical results to serial.
+    """
+    from repro.dse import (
+        ApplianceEvaluator,
+        appliance_search_space,
+        evolutionary_search,
+        factorial_search,
+    )
+
+    space = appliance_search_space(
+        backends=backends,
+        schedulers=schedulers,
+        batch_sizes=batch_sizes,
+        devices=devices,
+        racks=racks,
+    )
+    evaluator = ApplianceEvaluator(
+        config=config,
+        serving_duration_s=serving_duration_s,
+        arrival_rate_per_s=arrival_rate_per_s,
+        seed=seed,
+    )
+    if mode == "factorial":
+        return factorial_search(space, evaluator, jobs=jobs, results_dir=results_dir)
+    if mode == "evolutionary":
+        return evolutionary_search(
+            space,
+            evaluator,
+            population_size=population_size,
+            generations=generations,
+            seed=seed,
+            jobs=jobs,
+            results_dir=results_dir,
+        )
+    raise ConfigurationError(
+        f"unknown DSE mode {mode!r}; expected 'evolutionary' or 'factorial'"
+    )

@@ -27,6 +27,17 @@ Three subcommands cover the common entry points without writing any Python:
     ``--link-latency-s``/``--link-gbps`` transfer into off-rack dispatches,
     and the report grows transfer-time and cross-rack columns.
 
+``dse``
+    Explore appliance configurations (backend × scheduler × batch size,
+    plus devices/racks when given) with the multi-objective design-space
+    exploration engine and print the Pareto front over p99 latency,
+    aggregate tokens/s, energy/token, and device cost.  ``--mode
+    evolutionary`` (default) runs a seeded NSGA-II-style search;
+    ``--mode factorial`` sweeps the whole grid.  ``--jobs N``
+    parallelizes evaluation (bit-identical to serial) and
+    ``--results-dir`` persists per-candidate JSON results so interrupted
+    runs resume for free.
+
 Examples::
 
     python -m repro.cli run --model 1.5b --devices 4 --input 64 --output 64
@@ -38,6 +49,8 @@ Examples::
     python -m repro.cli serve --arrivals diurnal --rate 40 --duration 1e9 \
         --limit 1000000 --streaming --clusters 8
     python -m repro.cli serve --topology 2x2 --rate 2.0 --link-latency-s 0.05
+    python -m repro.cli dse --model test-small --generations 4 --jobs 4
+    python -m repro.cli dse --mode factorial --backends dfx gpu --batch-sizes 1 32
 """
 
 from __future__ import annotations
@@ -217,6 +230,55 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-link bandwidth in Gbit/s for "
                                    "--topology; 0 = free serialization "
                                    "(default: 10)")
+
+    dse_parser = subparsers.add_parser(
+        "dse", help="multi-objective design-space exploration over "
+                    "appliance configurations"
+    )
+    dse_parser.add_argument("--mode", default="evolutionary",
+                            choices=("evolutionary", "factorial"),
+                            help="candidate generator (default: evolutionary)")
+    dse_parser.add_argument("--model", default="test-small",
+                            choices=available_presets(),
+                            help="GPT-2 preset every candidate serves "
+                                 "(default: test-small)")
+    dse_parser.add_argument("--backends", nargs="+", default=["dfx", "gpu"],
+                            choices=available_backends(), metavar="NAME",
+                            help="backend dimension levels (default: dfx gpu)")
+    dse_parser.add_argument("--schedulers", nargs="+", default=["fifo", "sjf"],
+                            choices=sorted(SCHEDULERS), metavar="NAME",
+                            help="scheduler dimension levels "
+                                 "(default: fifo sjf)")
+    dse_parser.add_argument("--batch-sizes", nargs="+", type=int,
+                            default=[1, 32], metavar="N",
+                            help="batch-size dimension levels (default: 1 32)")
+    dse_parser.add_argument("--devices", nargs="+", type=int, default=None,
+                            metavar="N",
+                            help="devices-per-instance dimension levels "
+                                 "(default: not a dimension)")
+    dse_parser.add_argument("--racks", nargs="+", type=int, default=None,
+                            metavar="N",
+                            help="star-topology rack-count dimension levels "
+                                 "(default: not a dimension)")
+    dse_parser.add_argument("--population", type=int, default=8,
+                            help="evolutionary population size (default: 8)")
+    dse_parser.add_argument("--generations", type=int, default=4,
+                            help="evolutionary generations (default: 4)")
+    dse_parser.add_argument("--seed", type=int, default=0,
+                            help="search + serving RNG seed (default: 0)")
+    dse_parser.add_argument("--jobs", type=int, default=1,
+                            help="parallel evaluation workers; results are "
+                                 "bit-identical to --jobs 1 (default: 1)")
+    dse_parser.add_argument("--results-dir", metavar="PATH", default=None,
+                            help="persist per-candidate JSON results here "
+                                 "(and resume from them on a re-run)")
+    dse_parser.add_argument("--duration", type=float, default=30.0,
+                            help="serving-simulator run length per candidate "
+                                 "in seconds; 0 skips serving and scores the "
+                                 "analytic single-batch latency instead "
+                                 "(default: 30)")
+    dse_parser.add_argument("--rate", type=float, default=0.5,
+                            help="serving arrival rate in req/s (default: 0.5)")
     return parser
 
 
@@ -440,6 +502,51 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_dse(args: argparse.Namespace) -> int:
+    result = experiments.run_design_space_exploration(
+        mode=args.mode,
+        config=args.model,
+        backends=tuple(args.backends),
+        schedulers=tuple(args.schedulers),
+        batch_sizes=tuple(args.batch_sizes),
+        devices=tuple(args.devices) if args.devices else None,
+        racks=tuple(args.racks) if args.racks else None,
+        population_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        serving_duration_s=args.duration if args.duration > 0 else None,
+        arrival_rate_per_s=args.rate,
+    )
+    print(f"{result.mode} search over {result.space}: "
+          f"{result.num_evaluated} candidate(s) evaluated "
+          f"({result.num_feasible} feasible) in {result.generations} "
+          f"generation(s)")
+    if args.results_dir:
+        print(f"results persisted to {args.results_dir}")
+    if not result.front.members:
+        print("no feasible candidates; the Pareto front is empty")
+        return 0
+    header = ["candidate"] + [
+        f"{objective.name} ({objective.unit})" if objective.unit
+        else objective.name
+        for objective in result.front.objectives
+    ]
+    rows = [
+        [member.candidate.key, *member.vector.values]
+        for member in result.front
+    ]
+    print(f"Pareto front ({len(result.front)} member(s), crowding-ranked):")
+    print(format_table(header, rows))
+    for objective in result.front.objectives:
+        best = result.front.best(objective.name)
+        sense = "min" if objective.sense == "min" else "max"
+        print(f"  best {objective.name} ({sense}): {best.candidate.key} "
+              f"= {best.vector.value(objective.name):.4g}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -450,6 +557,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_experiment(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "dse":
+        return _command_dse(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

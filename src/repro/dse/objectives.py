@@ -1,0 +1,159 @@
+"""Objective vocabulary for multi-objective design-space exploration.
+
+An :class:`Objective` names one axis of merit and its optimization sense
+(``"min"`` or ``"max"``); an :class:`ObjectiveVector` is one candidate's
+score on an ordered tuple of objectives.  Dominance comparisons work in
+*minimized* space — maximized objectives are negated — so Pareto machinery
+never needs to know which direction an axis points.
+
+:class:`EvaluatedCandidate` pairs a candidate with its vector, or with an
+infeasibility reason when the evaluator rejected the combination (e.g. a
+batching policy on a backend whose capabilities cannot batch).  Infeasible
+candidates are kept in the exploration record — they are real answers about
+the space — but never enter a Pareto front.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.dse.space import Candidate
+from repro.errors import ConfigurationError
+
+#: Valid optimization senses.
+SENSES = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of merit: a name, an optimization sense, and a unit label."""
+
+    name: str
+    sense: str = "min"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("objective name must be non-empty")
+        if self.sense not in SENSES:
+            raise ConfigurationError(
+                f"objective sense must be one of {SENSES}, got {self.sense!r}"
+            )
+
+    def minimized(self, value: float) -> float:
+        """The value in minimized space (negated for ``"max"`` objectives)."""
+        return value if self.sense == "min" else -value
+
+
+@dataclass(frozen=True)
+class ObjectiveVector:
+    """One candidate's score on an ordered tuple of objectives."""
+
+    objectives: tuple[Objective, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ConfigurationError("an objective vector needs at least one objective")
+        if len(self.objectives) != len(self.values):
+            raise ConfigurationError(
+                f"{len(self.objectives)} objectives but {len(self.values)} values"
+            )
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"objective names must be unique: {names}")
+        for value in self.values:
+            if math.isnan(value):
+                raise ConfigurationError("objective values may not be NaN")
+
+    def value(self, name: str) -> float:
+        """The value of objective ``name``."""
+        for objective, value in zip(self.objectives, self.values):
+            if objective.name == name:
+                return value
+        raise ConfigurationError(
+            f"no objective named {name!r}; objectives: "
+            f"{[objective.name for objective in self.objectives]}"
+        )
+
+    def minimized(self) -> tuple[float, ...]:
+        """Values in minimized space (maximized objectives negated)."""
+        return tuple(
+            objective.minimized(value)
+            for objective, value in zip(self.objectives, self.values)
+        )
+
+    def dominates(self, other: "ObjectiveVector") -> bool:
+        """Pareto dominance: no worse on every objective, better on one."""
+        if self.objectives != other.objectives:
+            raise ConfigurationError(
+                "cannot compare vectors over different objectives"
+            )
+        mine, theirs = self.minimized(), other.minimized()
+        return all(a <= b for a, b in zip(mine, theirs)) and any(
+            a < b for a, b in zip(mine, theirs)
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Objective name -> value."""
+        return {
+            objective.name: value
+            for objective, value in zip(self.objectives, self.values)
+        }
+
+
+@dataclass(frozen=True)
+class EvaluatedCandidate:
+    """A candidate plus its objective vector (or why it was infeasible)."""
+
+    candidate: Candidate
+    vector: ObjectiveVector | None
+    infeasible_reason: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.vector is None) == (self.infeasible_reason is None):
+            raise ConfigurationError(
+                "an evaluation carries exactly one of a vector or an "
+                "infeasibility reason"
+            )
+
+    @property
+    def feasible(self) -> bool:
+        return self.vector is not None
+
+    @property
+    def key(self) -> str:
+        return self.candidate.key
+
+
+@runtime_checkable
+class Evaluator(Protocol):
+    """Scores candidates: ``objectives`` declares the axes, ``evaluate`` fills
+    them.  ``evaluate`` raises :class:`~repro.errors.ConfigurationError` for
+    infeasible combinations — the evaluation pool records those as
+    infeasible candidates rather than failing the search."""
+
+    objectives: tuple[Objective, ...]
+
+    def evaluate(self, candidate: Candidate) -> ObjectiveVector:
+        ...  # pragma: no cover - protocol
+
+
+def check_vector(evaluator: Evaluator, vector: ObjectiveVector) -> ObjectiveVector:
+    """Assert a vector matches its evaluator's declared objectives."""
+    if vector.objectives != tuple(evaluator.objectives):
+        raise ConfigurationError(
+            f"evaluator declared objectives "
+            f"{[o.name for o in evaluator.objectives]} but produced "
+            f"{[o.name for o in vector.objectives]}"
+        )
+    return vector
+
+
+def feasible_only(
+    evaluated: Sequence[EvaluatedCandidate],
+) -> list[EvaluatedCandidate]:
+    """The feasible subset, order preserved."""
+    return [entry for entry in evaluated if entry.feasible]

@@ -1,0 +1,210 @@
+"""Non-dominated sorting, crowding distance, and Pareto-front extraction.
+
+The NSGA-II primitives (Deb et al. 2002): :func:`non_dominated_sort` ranks a
+population into successive non-dominated fronts, :func:`crowding_distances`
+measures how isolated each member of a front is along every objective, and
+:func:`pareto_front` packages the first front of a set of evaluations with
+crowding-distance ranking.  Everything operates on *minimized* vectors, so
+maximized objectives participate correctly without special-casing.
+
+All orderings are deterministic: ties break on the candidate key, never on
+id() or hash order — the same evaluations always produce the same front,
+which is what the run-twice determinism checks in CI rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dse.objectives import (
+    EvaluatedCandidate,
+    Objective,
+    ObjectiveVector,
+    feasible_only,
+)
+from repro.errors import ConfigurationError
+
+
+def non_dominated_sort(vectors: Sequence[ObjectiveVector]) -> list[list[int]]:
+    """Indices of ``vectors`` grouped into successive non-dominated fronts.
+
+    Front 0 is the Pareto set of the input; front ``k`` is the Pareto set
+    once fronts ``< k`` are removed.  Within a front, indices keep input
+    order.  The classic O(n²) fast-non-dominated-sort — population sizes
+    here are tens to hundreds, so clarity beats asymptotics.
+    """
+    n = len(vectors)
+    if n == 0:
+        return []
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    minimized = [vector.minimized() for vector in vectors]
+    for index in range(1, n):
+        if vectors[index].objectives != vectors[0].objectives:
+            raise ConfigurationError(
+                "all vectors in a sort must share one objective tuple"
+            )
+
+    def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(minimized[i], minimized[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(minimized[j], minimized[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+
+    fronts: list[list[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        next_front: list[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current = sorted(next_front)
+    return fronts
+
+
+def crowding_distances(
+    vectors: Sequence[ObjectiveVector], front: Sequence[int]
+) -> dict[int, float]:
+    """Crowding distance of each front member (NSGA-II diversity measure).
+
+    Boundary members along any objective get infinite distance; interior
+    members sum the normalized gap between their neighbours per objective.
+    A degenerate objective (all members equal) contributes nothing.
+    """
+    distances = {index: 0.0 for index in front}
+    if not front:
+        return distances
+    if len(front) <= 2:
+        return {index: math.inf for index in front}
+    num_objectives = len(vectors[front[0]].objectives)
+    minimized = {index: vectors[index].minimized() for index in front}
+    for axis in range(num_objectives):
+        # Tie-break the sort on the index so the ordering — and therefore
+        # which tied member is declared the boundary — is deterministic.
+        ordered = sorted(front, key=lambda index: (minimized[index][axis], index))
+        low = minimized[ordered[0]][axis]
+        high = minimized[ordered[-1]][axis]
+        distances[ordered[0]] = math.inf
+        distances[ordered[-1]] = math.inf
+        if high == low:
+            continue
+        span = high - low
+        for position in range(1, len(ordered) - 1):
+            index = ordered[position]
+            if math.isinf(distances[index]):
+                continue
+            gap = (
+                minimized[ordered[position + 1]][axis]
+                - minimized[ordered[position - 1]][axis]
+            )
+            distances[index] += gap / span
+    return distances
+
+
+@dataclass(frozen=True)
+class FrontMember:
+    """One Pareto-front member with its crowding distance."""
+
+    evaluated: EvaluatedCandidate
+    crowding_distance: float
+
+    @property
+    def candidate(self):
+        return self.evaluated.candidate
+
+    @property
+    def vector(self) -> ObjectiveVector:
+        return self.evaluated.vector
+
+
+@dataclass(frozen=True)
+class ParetoFront:
+    """The non-dominated set of an exploration, crowding-ranked.
+
+    Members are ordered by crowding distance (descending — boundary/isolated
+    designs first), tie-broken by candidate key, so the front prints and
+    persists identically run to run.
+    """
+
+    objectives: tuple[Objective, ...]
+    members: tuple[FrontMember, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def candidates(self) -> list:
+        return [member.candidate for member in self.members]
+
+    def keys(self) -> list[str]:
+        return [member.candidate.key for member in self.members]
+
+    def member(self, key: str) -> FrontMember:
+        for candidate in self.members:
+            if candidate.candidate.key == key:
+                return candidate
+        raise ConfigurationError(f"no front member with key {key!r}")
+
+    def best(self, objective_name: str) -> FrontMember:
+        """The front member optimizing one single objective (ties: key)."""
+        for objective in self.objectives:
+            if objective.name == objective_name:
+                return min(
+                    self.members,
+                    key=lambda member: (
+                        objective.minimized(member.vector.value(objective_name)),
+                        member.candidate.key,
+                    ),
+                )
+        raise ConfigurationError(
+            f"no objective named {objective_name!r}; objectives: "
+            f"{[objective.name for objective in self.objectives]}"
+        )
+
+
+def pareto_front(evaluated: Sequence[EvaluatedCandidate]) -> ParetoFront:
+    """Extract the crowding-ranked first front of a set of evaluations.
+
+    Infeasible evaluations are ignored; duplicate candidate keys collapse
+    to their first occurrence.  An all-infeasible (or empty) input yields
+    an empty front.
+    """
+    unique: dict[str, EvaluatedCandidate] = {}
+    for entry in feasible_only(evaluated):
+        unique.setdefault(entry.key, entry)
+    entries = list(unique.values())
+    if not entries:
+        objectives = ()
+        if evaluated:
+            declared = [e.vector.objectives for e in evaluated if e.vector is not None]
+            objectives = declared[0] if declared else ()
+        return ParetoFront(objectives=tuple(objectives), members=())
+    vectors = [entry.vector for entry in entries]
+    fronts = non_dominated_sort(vectors)
+    first = fronts[0]
+    distances = crowding_distances(vectors, first)
+    members = [
+        FrontMember(evaluated=entries[index], crowding_distance=distances[index])
+        for index in first
+    ]
+    members.sort(
+        key=lambda member: (-member.crowding_distance, member.candidate.key)
+    )
+    return ParetoFront(
+        objectives=vectors[0].objectives, members=tuple(members)
+    )

@@ -1,0 +1,254 @@
+"""Declarative search spaces for design-space exploration.
+
+A :class:`SearchSpace` is an ordered tuple of named :class:`Dimension`\\ s;
+every combination of one level per dimension is a :class:`Candidate`.  The
+space itself knows nothing about appliances or objectives — it is pure
+combinatorics (enumeration, indexing, label round-trips) — so the same
+machinery drives the tile-shape slice of Fig. 8 and a fleet-level
+backend × scheduler × batch-policy exploration.
+
+Dimension values may be arbitrary Python objects (tile tuples, config
+presets, fleet compositions); every level also carries a string *label*,
+and labels — not values — are what candidate keys, persisted results, and
+the JSON serializers speak.  A candidate key like
+``backend=gpu|batch=8|scheduler=fifo`` is therefore stable across runs and
+processes, which is what makes the evaluation pool resumable and
+``--jobs N`` bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Separator between ``name=label`` fields in a candidate key.
+KEY_SEPARATOR = "|"
+
+
+class Dimension:
+    """One named axis of a search space: an ordered set of labelled levels.
+
+    ``choices`` may be a mapping (label -> value, order preserved) or a
+    plain sequence of values, which are labelled by ``str(value)``.  Pass a
+    mapping whenever values are tuples or other objects whose ``str`` makes
+    a poor label (e.g. ``{"64x16": (64, 16)}``).
+    """
+
+    def __init__(self, name: str, choices: Mapping[str, object] | Sequence[object]) -> None:
+        if not name:
+            raise ConfigurationError("dimension name must be non-empty")
+        if KEY_SEPARATOR in name or "=" in name:
+            raise ConfigurationError(
+                f"dimension name {name!r} may not contain {KEY_SEPARATOR!r} or '='"
+            )
+        if isinstance(choices, Mapping):
+            labels = tuple(str(label) for label in choices)
+            values = tuple(choices.values())
+        else:
+            values = tuple(choices)
+            labels = tuple(str(value) for value in values)
+        if not values:
+            raise ConfigurationError(f"dimension {name!r} needs at least one level")
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"dimension {name!r} has duplicate labels: {labels}"
+            )
+        for label in labels:
+            if not label or KEY_SEPARATOR in label or "=" in label:
+                raise ConfigurationError(
+                    f"dimension {name!r} label {label!r} must be non-empty and "
+                    f"may not contain {KEY_SEPARATOR!r} or '='"
+                )
+        self.name = name
+        self.labels = labels
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def index_of(self, label: str) -> int:
+        """Level index of ``label`` (exact match)."""
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise ConfigurationError(
+                f"dimension {self.name!r} has no level {label!r}; "
+                f"levels: {list(self.labels)}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dimension({self.name!r}, levels={list(self.labels)})"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of a search space: a chosen level per dimension.
+
+    Carries the dimension names, the chosen labels, the chosen *values*
+    (arbitrary objects the evaluator consumes), and the level indices
+    (what the evolutionary operators mutate).  ``key`` is the stable
+    string identity used for deduplication, persistence, and per-candidate
+    RNG seeding.
+    """
+
+    names: tuple[str, ...]
+    labels: tuple[str, ...]
+    values: tuple[object, ...]
+    indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.names) == len(self.labels) == len(self.values) == len(self.indices)):
+            raise ConfigurationError("candidate fields must have equal length")
+
+    @property
+    def key(self) -> str:
+        """Stable identity: ``name=label`` fields joined by ``|``."""
+        return KEY_SEPARATOR.join(
+            f"{name}={label}" for name, label in zip(self.names, self.labels)
+        )
+
+    def params(self) -> dict[str, object]:
+        """Dimension name -> chosen value."""
+        return dict(zip(self.names, self.values))
+
+    def label_map(self) -> dict[str, str]:
+        """Dimension name -> chosen label."""
+        return dict(zip(self.names, self.labels))
+
+    def __getitem__(self, name: str) -> object:
+        try:
+            return self.values[self.names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def get(self, name: str, default: object = None) -> object:
+        """Chosen value of dimension ``name``, or ``default`` if absent."""
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Candidate({self.key})"
+
+
+class SearchSpace:
+    """An ordered set of dimensions and the candidates they span."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        dimensions = tuple(dimensions)
+        if not dimensions:
+            raise ConfigurationError("a search space needs at least one dimension")
+        names = [dimension.name for dimension in dimensions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"dimension names must be unique: {names}")
+        self.dimensions = dimensions
+        self._by_name = {dimension.name: dimension for dimension in dimensions}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(dimension.name for dimension in self.dimensions)
+
+    @property
+    def size(self) -> int:
+        """Number of candidates in the full factorial grid."""
+        total = 1
+        for dimension in self.dimensions:
+            total *= len(dimension)
+        return total
+
+    def dimension(self, name: str) -> Dimension:
+        if name not in self._by_name:
+            raise ConfigurationError(
+                f"unknown dimension {name!r}; dimensions: {list(self.names)}"
+            )
+        return self._by_name[name]
+
+    # ------------------------------------------------------------- candidates
+    def candidate(self, indices: Sequence[int]) -> Candidate:
+        """Build the candidate at one level index per dimension."""
+        indices = tuple(indices)
+        if len(indices) != len(self.dimensions):
+            raise ConfigurationError(
+                f"expected {len(self.dimensions)} indices, got {len(indices)}"
+            )
+        for index, dimension in zip(indices, self.dimensions):
+            if not 0 <= index < len(dimension):
+                raise ConfigurationError(
+                    f"index {index} out of range for dimension "
+                    f"{dimension.name!r} with {len(dimension)} levels"
+                )
+        return Candidate(
+            names=self.names,
+            labels=tuple(d.labels[i] for d, i in zip(self.dimensions, indices)),
+            values=tuple(d.values[i] for d, i in zip(self.dimensions, indices)),
+            indices=indices,
+        )
+
+    def candidate_from_labels(self, labels: Mapping[str, str]) -> Candidate:
+        """Rebuild a candidate from its ``name -> label`` mapping.
+
+        This is the deserialization path: persisted results carry labels
+        only (values may be arbitrary objects), so loading a results
+        directory reconstructs candidates through the live space.
+        """
+        labels = dict(labels)
+        unknown = set(labels) - set(self.names)
+        if unknown:
+            raise ConfigurationError(
+                f"labels name unknown dimensions {sorted(unknown)}; "
+                f"dimensions: {list(self.names)}"
+            )
+        missing = set(self.names) - set(labels)
+        if missing:
+            raise ConfigurationError(
+                f"labels are missing dimensions {sorted(missing)}"
+            )
+        return self.candidate(
+            tuple(
+                dimension.index_of(labels[dimension.name])
+                for dimension in self.dimensions
+            )
+        )
+
+    def grid(self, fixed: Mapping[str, str] | None = None) -> list[Candidate]:
+        """Every candidate of the (optionally sliced) factorial grid.
+
+        ``fixed`` pins dimensions to one level by label, so a slice like
+        ``grid(fixed={"backend": "dfx"})`` is the factorial design over the
+        remaining dimensions.  Enumeration order is row-major with the last
+        dimension varying fastest — deterministic, so factorial runs are
+        reproducible by construction.
+        """
+        fixed = dict(fixed or {})
+        pinned: dict[str, int] = {}
+        for name, label in fixed.items():
+            pinned[name] = self.dimension(name).index_of(str(label))
+        candidates = []
+        for indices in self._iter_indices(pinned):
+            candidates.append(self.candidate(indices))
+        return candidates
+
+    def _iter_indices(self, pinned: Mapping[str, int]) -> Iterator[tuple[int, ...]]:
+        def walk(position: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if position == len(self.dimensions):
+                yield prefix
+                return
+            dimension = self.dimensions[position]
+            if dimension.name in pinned:
+                yield from walk(position + 1, prefix + (pinned[dimension.name],))
+                return
+            for index in range(len(dimension)):
+                yield from walk(position + 1, prefix + (index,))
+
+        yield from walk(0, ())
+
+    def random_indices(self, rng) -> tuple[int, ...]:
+        """One uniformly random index tuple (``rng`` is ``random.Random``)."""
+        return tuple(rng.randrange(len(d)) for d in self.dimensions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        axes = ", ".join(f"{d.name}[{len(d)}]" for d in self.dimensions)
+        return f"SearchSpace({axes}; size={self.size})"

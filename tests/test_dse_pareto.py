@@ -1,0 +1,214 @@
+"""Objective vectors, dominance, non-dominated sorting, crowding, fronts."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dse import (
+    Dimension,
+    EvaluatedCandidate,
+    Objective,
+    ObjectiveVector,
+    ParetoFront,
+    SearchSpace,
+    crowding_distances,
+    non_dominated_sort,
+    pareto_front,
+)
+from repro.errors import ConfigurationError
+
+MIN_MAX = (Objective("latency", "min"), Objective("throughput", "max"))
+
+
+def vector(latency: float, throughput: float) -> ObjectiveVector:
+    return ObjectiveVector(objectives=MIN_MAX, values=(latency, throughput))
+
+
+def evaluated(index: int, latency: float, throughput: float) -> EvaluatedCandidate:
+    space = SearchSpace([Dimension("i", list(range(16)))])
+    return EvaluatedCandidate(
+        candidate=space.candidate((index,)), vector=vector(latency, throughput)
+    )
+
+
+class TestObjective:
+    def test_minimized_negates_max_objectives(self):
+        assert Objective("t", "max").minimized(5.0) == -5.0
+        assert Objective("t", "min").minimized(5.0) == 5.0
+
+    def test_invalid_sense_rejected(self):
+        with pytest.raises(ConfigurationError, match="sense"):
+            Objective("t", "maximize")
+
+
+class TestObjectiveVector:
+    def test_dominates_accounts_for_sense(self):
+        # Lower latency AND higher throughput -> dominates.
+        assert vector(1.0, 10.0).dominates(vector(2.0, 5.0))
+        # Trade-off -> no dominance either way.
+        assert not vector(1.0, 5.0).dominates(vector(2.0, 10.0))
+        assert not vector(2.0, 10.0).dominates(vector(1.0, 5.0))
+        # Equal vectors do not dominate each other.
+        assert not vector(1.0, 5.0).dominates(vector(1.0, 5.0))
+
+    def test_value_lookup(self):
+        v = vector(1.5, 30.0)
+        assert v.value("latency") == 1.5
+        assert v.value("throughput") == 30.0
+        with pytest.raises(ConfigurationError, match="no objective"):
+            v.value("energy")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError, match="NaN"):
+            vector(float("nan"), 1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObjectiveVector(objectives=MIN_MAX, values=(1.0,))
+
+    def test_cross_objective_comparison_rejected(self):
+        other = ObjectiveVector(
+            objectives=(Objective("cost", "min"), Objective("perf", "max")),
+            values=(1.0, 2.0),
+        )
+        with pytest.raises(ConfigurationError, match="different objectives"):
+            vector(1.0, 2.0).dominates(other)
+
+
+class TestNonDominatedSort:
+    def test_layers_peel_off_in_order(self):
+        vectors = [
+            vector(1.0, 10.0),  # front 0
+            vector(2.0, 20.0),  # front 0 (trade-off with the first)
+            vector(2.0, 10.0),  # front 1 (dominated by both)
+            vector(3.0, 5.0),   # front 2 (dominated by index 2)
+        ]
+        assert non_dominated_sort(vectors) == [[0, 1], [2], [3]]
+
+    def test_all_mutually_non_dominated(self):
+        vectors = [vector(1.0, 1.0), vector(2.0, 2.0), vector(3.0, 3.0)]
+        assert non_dominated_sort(vectors) == [[0, 1, 2]]
+
+    def test_empty_input(self):
+        assert non_dominated_sort([]) == []
+
+    def test_mixed_objectives_rejected(self):
+        other = ObjectiveVector(
+            objectives=(Objective("cost", "min"), Objective("perf", "max")),
+            values=(1.0, 2.0),
+        )
+        with pytest.raises(ConfigurationError, match="share one objective"):
+            non_dominated_sort([vector(1.0, 1.0), other])
+
+
+class TestCrowdingDistances:
+    def test_small_fronts_are_all_infinite(self):
+        vectors = [vector(1.0, 10.0), vector(2.0, 20.0)]
+        distances = crowding_distances(vectors, [0, 1])
+        assert distances == {0: math.inf, 1: math.inf}
+
+    def test_boundaries_infinite_interior_finite(self):
+        vectors = [vector(1.0, 10.0), vector(2.0, 20.0), vector(3.0, 30.0)]
+        distances = crowding_distances(vectors, [0, 1, 2])
+        assert distances[0] == math.inf
+        assert distances[2] == math.inf
+        # Interior member: normalized gap of 1.0 on each of two axes.
+        assert distances[1] == pytest.approx(2.0)
+
+    def test_degenerate_axis_contributes_nothing(self):
+        vectors = [vector(1.0, 5.0), vector(2.0, 5.0), vector(3.0, 5.0)]
+        distances = crowding_distances(vectors, [0, 1, 2])
+        assert distances[1] == pytest.approx(1.0)  # only the latency axis
+
+
+class TestParetoFront:
+    def test_front_keeps_only_non_dominated(self):
+        entries = [
+            evaluated(0, 1.0, 10.0),
+            evaluated(1, 2.0, 20.0),
+            evaluated(2, 3.0, 15.0),  # dominated by index 1
+        ]
+        front = pareto_front(entries)
+        assert sorted(front.keys()) == ["i=0", "i=1"]
+
+    def test_every_front_member_is_non_dominated_oracle(self):
+        entries = [
+            evaluated(i, float(i % 5 + 1), float((i * 7) % 11))
+            for i in range(12)
+        ]
+        front = pareto_front(entries)
+        front_keys = set(front.keys())
+        for entry in entries:
+            dominated = any(
+                other.vector.dominates(entry.vector)
+                for other in entries
+                if other.key != entry.key
+            )
+            assert (entry.key in front_keys) == (not dominated)
+
+    def test_duplicate_keys_collapse_to_first(self):
+        entries = [evaluated(3, 1.0, 10.0), evaluated(3, 9.0, 1.0)]
+        front = pareto_front(entries)
+        assert len(front) == 1
+        assert front.members[0].vector.value("latency") == 1.0
+
+    def test_infeasible_entries_excluded(self):
+        space = SearchSpace([Dimension("i", [0, 1])])
+        infeasible = EvaluatedCandidate(
+            candidate=space.candidate((1,)),
+            vector=None,
+            infeasible_reason="backend cannot batch",
+        )
+        front = pareto_front([evaluated(0, 1.0, 1.0), infeasible])
+        assert front.keys() == ["i=0"]
+
+    def test_all_infeasible_yields_empty_front(self):
+        space = SearchSpace([Dimension("i", [0])])
+        entry = EvaluatedCandidate(
+            candidate=space.candidate((0,)), vector=None, infeasible_reason="no"
+        )
+        front = pareto_front([entry])
+        assert len(front) == 0
+        assert isinstance(front, ParetoFront)
+
+    def test_members_ordered_by_crowding_then_key(self):
+        entries = [
+            evaluated(0, 1.0, 10.0),
+            evaluated(1, 2.0, 20.0),
+            evaluated(2, 3.0, 30.0),
+            evaluated(3, 4.0, 40.0),
+        ]
+        front = pareto_front(entries)
+        distances = [member.crowding_distance for member in front]
+        assert distances == sorted(distances, reverse=True)
+        # Boundary (infinite) members tie-break on candidate key.
+        infinite = [m.candidate.key for m in front if m.crowding_distance == math.inf]
+        assert infinite == sorted(infinite)
+
+    def test_best_per_objective(self):
+        entries = [evaluated(0, 1.0, 10.0), evaluated(1, 2.0, 20.0)]
+        front = pareto_front(entries)
+        assert front.best("latency").candidate.key == "i=0"
+        assert front.best("throughput").candidate.key == "i=1"
+        with pytest.raises(ConfigurationError, match="no objective"):
+            front.best("energy")
+
+    def test_member_lookup(self):
+        front = pareto_front([evaluated(0, 1.0, 10.0)])
+        assert front.member("i=0").candidate.key == "i=0"
+        with pytest.raises(ConfigurationError, match="no front member"):
+            front.member("i=9")
+
+    def test_evaluated_candidate_requires_exactly_one_of_vector_or_reason(self):
+        space = SearchSpace([Dimension("i", [0])])
+        candidate = space.candidate((0,))
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            EvaluatedCandidate(candidate=candidate, vector=None)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            EvaluatedCandidate(
+                candidate=candidate,
+                vector=vector(1.0, 1.0),
+                infeasible_reason="both",
+            )

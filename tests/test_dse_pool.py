@@ -1,0 +1,206 @@
+"""Evaluation-pool determinism, persistence, resume, and schema guarding.
+
+The satellite acceptance: a seeded evolutionary search must produce
+byte-identical persisted results with jobs=1 vs jobs=4, and resuming from a
+half-written results directory must converge to the same front as an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import export
+from repro.dse import (
+    ApplianceEvaluator,
+    Dimension,
+    EvaluationPool,
+    Objective,
+    ObjectiveVector,
+    SearchSpace,
+    appliance_search_space,
+    candidate_seed,
+    evolutionary_search,
+    result_filename,
+)
+from repro.errors import ConfigurationError
+
+
+class SquareEvaluator:
+    """Pure-arithmetic evaluator, trivially picklable for worker processes."""
+
+    objectives = (Objective("value", "min"),)
+
+    def evaluate(self, candidate):
+        x = int(candidate["x"])
+        if x == 13:
+            raise ConfigurationError("thirteen is not served")
+        return ObjectiveVector(objectives=self.objectives, values=(float(x * x),))
+
+
+def square_space(levels: int = 8) -> SearchSpace:
+    return SearchSpace([Dimension("x", list(range(levels)))])
+
+
+def read_dir(path: Path) -> dict[str, bytes]:
+    return {f.name: f.read_bytes() for f in sorted(path.glob("*.json"))}
+
+
+class TestCandidateSeed:
+    def test_stable_and_key_sensitive(self):
+        assert candidate_seed(0, "a=1") == candidate_seed(0, "a=1")
+        assert candidate_seed(0, "a=1") != candidate_seed(0, "a=2")
+        assert candidate_seed(0, "a=1") != candidate_seed(1, "a=1")
+
+    def test_result_filename_safe_and_collision_resistant(self):
+        name = result_filename("backend=dfx|batch=1")
+        assert name.endswith(".json")
+        assert "|" not in name and "=" not in name
+        assert result_filename("a|b") != result_filename("a=b")
+
+
+class TestEvaluationPool:
+    def test_preserves_input_order_with_duplicates(self):
+        space = square_space()
+        pool = EvaluationPool(SquareEvaluator())
+        batch = [space.candidate((3,)), space.candidate((1,)), space.candidate((3,))]
+        results = pool.evaluate(batch)
+        assert [entry.key for entry in results] == ["x=3", "x=1", "x=3"]
+        assert pool.num_evaluated == 2
+
+    def test_infeasible_captured_not_raised(self):
+        space = SearchSpace([Dimension("x", [12, 13])])
+        pool = EvaluationPool(SquareEvaluator())
+        results = pool.evaluate(space.grid())
+        assert results[0].feasible
+        assert not results[1].feasible
+        assert "thirteen" in results[1].infeasible_reason
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            EvaluationPool(SquareEvaluator(), jobs=0)
+
+    def test_parallel_results_match_serial(self, tmp_path):
+        space = square_space(12)
+        serial = EvaluationPool(
+            SquareEvaluator(), jobs=1, results_dir=tmp_path / "serial", space=space
+        )
+        parallel = EvaluationPool(
+            SquareEvaluator(), jobs=4, results_dir=tmp_path / "par", space=space
+        )
+        a = serial.evaluate(space.grid())
+        b = parallel.evaluate(space.grid())
+        assert a == b
+        assert read_dir(tmp_path / "serial") == read_dir(tmp_path / "par")
+
+
+class TestSearchDeterminismAcrossJobs:
+    """jobs=1 vs jobs=4 must persist byte-identical result files."""
+
+    @staticmethod
+    def run(tmp_path: Path, name: str, jobs: int):
+        space = appliance_search_space(
+            backends=("dfx", "gpu"),
+            schedulers=("fifo", "sjf"),
+            batch_sizes=(1, 32),
+        )
+        evaluator = ApplianceEvaluator(
+            config="test-small",
+            serving_duration_s=20.0,
+            arrival_rate_per_s=0.5,
+            seed=0,
+        )
+        result = evolutionary_search(
+            space,
+            evaluator,
+            population_size=6,
+            generations=3,
+            seed=7,
+            jobs=jobs,
+            results_dir=tmp_path / name,
+        )
+        return result, read_dir(tmp_path / name)
+
+    def test_jobs_4_byte_identical_to_serial(self, tmp_path):
+        serial_result, serial_files = self.run(tmp_path, "serial", jobs=1)
+        parallel_result, parallel_files = self.run(tmp_path, "parallel", jobs=4)
+        assert serial_files == parallel_files
+        assert parallel_result.front.keys() == serial_result.front.keys()
+
+    def test_resume_from_half_written_dir_converges(self, tmp_path):
+        full_result, full_files = self.run(tmp_path, "full", jobs=1)
+        # Simulate an interrupted run: keep only half the result files,
+        # and corrupt one of the survivors mid-write.
+        half_dir = tmp_path / "half"
+        half_dir.mkdir()
+        names = sorted(full_files)
+        for name in names[: len(names) // 2]:
+            (half_dir / name).write_bytes(full_files[name])
+        survivor = names[0]
+        (half_dir / survivor).write_bytes(full_files[survivor][: 40])
+
+        resumed_result, resumed_files = self.run(tmp_path, "half", jobs=1)
+        assert resumed_result.front.keys() == full_result.front.keys()
+        assert resumed_files == full_files
+
+
+class TestPersistenceFormat:
+    def test_files_round_trip_through_export(self, tmp_path):
+        space = square_space()
+        pool = EvaluationPool(
+            SquareEvaluator(), results_dir=tmp_path, space=space
+        )
+        pool.evaluate(space.grid())
+        for path in sorted(tmp_path.glob("*.json")):
+            payload = json.loads(path.read_text())
+            entry = export.dse_evaluation_from_dict(payload, space)
+            assert entry == pool.results()[entry.key]
+
+    def test_resume_reuses_persisted_results(self, tmp_path):
+        space = square_space()
+        first = EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=space)
+        first.evaluate(space.grid())
+
+        class ExplodingEvaluator(SquareEvaluator):
+            def evaluate(self, candidate):  # pragma: no cover - must not run
+                raise AssertionError("resume must not recompute")
+
+        second = EvaluationPool(
+            ExplodingEvaluator(), results_dir=tmp_path, space=space
+        )
+        results = second.evaluate(space.grid())
+        assert all(entry.feasible for entry in results)
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        space = square_space()
+        pool = EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=space)
+        pool.evaluate(space.grid())
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        payload = json.loads(victim.read_text())
+        payload["schema_version"] = 99
+        victim.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=space)
+
+    def test_corrupt_file_recomputed_and_overwritten(self, tmp_path):
+        space = square_space()
+        pool = EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=space)
+        pool.evaluate(space.grid())
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        intact = victim.read_bytes()
+        victim.write_bytes(intact[: 25])  # half-written JSON
+
+        fresh = EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=space)
+        fresh.evaluate(space.grid())
+        assert victim.read_bytes() == intact
+
+    def test_changed_space_rejected_on_load(self, tmp_path):
+        space = square_space()
+        pool = EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=space)
+        pool.evaluate(space.grid())
+        renamed = SearchSpace([Dimension("y", list(range(8)))])
+        with pytest.raises(ConfigurationError):
+            EvaluationPool(SquareEvaluator(), results_dir=tmp_path, space=renamed)

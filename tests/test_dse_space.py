@@ -1,0 +1,140 @@
+"""Search-space combinatorics: dimensions, candidates, keys, grids."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dse import Candidate, Dimension, SearchSpace
+from repro.errors import ConfigurationError
+
+
+def make_space() -> SearchSpace:
+    return SearchSpace([
+        Dimension("backend", ["dfx", "gpu"]),
+        Dimension("batch", [1, 8, 32]),
+        Dimension("tile", {"64x16": (64, 16), "128x8": (128, 8)}),
+    ])
+
+
+class TestDimension:
+    def test_sequence_choices_labelled_by_str(self):
+        dim = Dimension("batch", [1, 8])
+        assert dim.labels == ("1", "8")
+        assert dim.values == (1, 8)
+
+    def test_mapping_choices_preserve_order_and_values(self):
+        dim = Dimension("tile", {"64x16": (64, 16), "128x8": (128, 8)})
+        assert dim.labels == ("64x16", "128x8")
+        assert dim.values == ((64, 16), (128, 8))
+
+    def test_index_of_unknown_label_raises(self):
+        with pytest.raises(ConfigurationError, match="no level"):
+            Dimension("backend", ["dfx"]).index_of("tpu")
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one level"):
+            Dimension("backend", [])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Dimension("batch", [1, 1])
+
+    @pytest.mark.parametrize("bad", ["a|b", "a=b", ""])
+    def test_reserved_characters_rejected_in_name(self, bad):
+        with pytest.raises(ConfigurationError):
+            Dimension(bad, [1])
+
+    def test_reserved_characters_rejected_in_labels(self):
+        with pytest.raises(ConfigurationError):
+            Dimension("x", {"a=b": 1})
+
+
+class TestCandidate:
+    def test_key_joins_name_label_pairs(self):
+        space = make_space()
+        candidate = space.candidate((1, 2, 0))
+        assert candidate.key == "backend=gpu|batch=32|tile=64x16"
+
+    def test_params_and_label_map(self):
+        candidate = make_space().candidate((0, 1, 1))
+        assert candidate.params() == {
+            "backend": "dfx", "batch": 8, "tile": (128, 8),
+        }
+        assert candidate.label_map() == {
+            "backend": "dfx", "batch": "8", "tile": "128x8",
+        }
+
+    def test_getitem_and_get(self):
+        candidate = make_space().candidate((0, 0, 0))
+        assert candidate["batch"] == 1
+        assert candidate.get("missing") is None
+        assert candidate.get("missing", 7) == 7
+        with pytest.raises(KeyError):
+            candidate["missing"]
+
+    def test_mismatched_field_lengths_rejected(self):
+        with pytest.raises(ConfigurationError, match="equal length"):
+            Candidate(names=("a",), labels=("x", "y"), values=(1,), indices=(0,))
+
+
+class TestSearchSpace:
+    def test_size_is_product_of_dimension_sizes(self):
+        assert make_space().size == 2 * 3 * 2
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            SearchSpace([Dimension("a", [1]), Dimension("a", [2])])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one dimension"):
+            SearchSpace([])
+
+    def test_candidate_index_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            make_space().candidate((0, 3, 0))
+
+    def test_candidate_wrong_arity(self):
+        with pytest.raises(ConfigurationError, match="expected 3 indices"):
+            make_space().candidate((0, 0))
+
+    def test_grid_is_row_major_last_dimension_fastest(self):
+        space = SearchSpace([Dimension("a", [0, 1]), Dimension("b", ["x", "y"])])
+        keys = [candidate.key for candidate in space.grid()]
+        assert keys == ["a=0|b=x", "a=0|b=y", "a=1|b=x", "a=1|b=y"]
+
+    def test_grid_fixed_slices_by_label(self):
+        space = make_space()
+        sliced = space.grid(fixed={"backend": "dfx"})
+        assert len(sliced) == 6
+        assert all(candidate["backend"] == "dfx" for candidate in sliced)
+
+    def test_grid_fixed_unknown_dimension_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown dimension"):
+            make_space().grid(fixed={"nope": "dfx"})
+
+    def test_candidate_from_labels_round_trips(self):
+        space = make_space()
+        for candidate in space.grid():
+            rebuilt = space.candidate_from_labels(candidate.label_map())
+            assert rebuilt == candidate
+
+    def test_candidate_from_labels_missing_dimension(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            make_space().candidate_from_labels({"backend": "dfx"})
+
+    def test_candidate_from_labels_unknown_dimension(self):
+        labels = make_space().candidate((0, 0, 0)).label_map()
+        labels["extra"] = "1"
+        with pytest.raises(ConfigurationError, match="unknown dimensions"):
+            make_space().candidate_from_labels(labels)
+
+    def test_random_indices_deterministic_for_seeded_rng(self):
+        space = make_space()
+        draws_a = [space.random_indices(random.Random(3)) for _ in range(1)]
+        draws_b = [space.random_indices(random.Random(3)) for _ in range(1)]
+        assert draws_a == draws_b
+        indices = space.random_indices(random.Random(0))
+        assert len(indices) == 3
+        space.candidate(indices)  # always in range
